@@ -1,0 +1,77 @@
+//! Criterion benchmarks backing Tables 2 and 3: encode and decode throughput
+//! of Tornado A/B versus the Cauchy and Vandermonde Reed–Solomon baselines at
+//! a 250 KB file (1 KB packets, stretch factor 2).
+//!
+//! The `repro` binary measures the full size sweep; this bench exists so
+//! `cargo bench` gives statistically sound numbers for the headline
+//! comparison at a size every code can finish quickly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use df_bench::random_packets;
+use df_core::{TornadoCode, TORNADO_A, TORNADO_B};
+use df_rs::{CauchyCode, ErasureCode, VandermondeCode};
+
+const K: usize = 250;
+const PACKET: usize = 1024;
+
+fn encode_benches(c: &mut Criterion) {
+    let source = random_packets(K, PACKET, 1);
+    let mut group = c.benchmark_group("encode_250KB");
+    group.sample_size(10);
+
+    let ta = TornadoCode::with_profile(K, TORNADO_A, 1).unwrap();
+    group.bench_function("tornado_a", |b| b.iter(|| ta.encode(&source).unwrap()));
+    let tb = TornadoCode::with_profile(K, TORNADO_B, 1).unwrap();
+    group.bench_function("tornado_b", |b| b.iter(|| tb.encode(&source).unwrap()));
+    let cauchy = CauchyCode::new_large(K, 2 * K).unwrap();
+    group.bench_function("cauchy_rs", |b| b.iter(|| cauchy.encode(&source).unwrap()));
+    let vander = VandermondeCode::new_large(K, 2 * K).unwrap();
+    group.bench_function("vandermonde_rs", |b| b.iter(|| vander.encode(&source).unwrap()));
+    group.finish();
+}
+
+fn decode_benches(c: &mut Criterion) {
+    let source = random_packets(K, PACKET, 2);
+    let mut group = c.benchmark_group("decode_250KB");
+    group.sample_size(10);
+
+    // Tornado: feed a shuffled prefix of the encoding until completion.
+    let ta = TornadoCode::with_profile(K, TORNADO_A, 1).unwrap();
+    let enc_a = ta.encode(&source).unwrap();
+    let order: Vec<usize> = (0..ta.n()).rev().collect();
+    group.bench_function("tornado_a", |b| {
+        b.iter_batched(
+            || ta.decoder(),
+            |mut dec| {
+                for &i in &order {
+                    if dec.add_packet(i, enc_a[i].clone()).unwrap() == df_core::AddOutcome::Complete {
+                        break;
+                    }
+                }
+                assert!(dec.is_complete());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Reed–Solomon baselines: half source, half redundant.
+    let cauchy = CauchyCode::new_large(K, 2 * K).unwrap();
+    let enc_c = cauchy.encode(&source).unwrap();
+    let rx_c: Vec<(usize, Vec<u8>)> = (0..K / 2)
+        .map(|i| (i, enc_c[i].clone()))
+        .chain((K..K + K - K / 2).map(|i| (i, enc_c[i].clone())))
+        .collect();
+    group.bench_function("cauchy_rs", |b| b.iter(|| cauchy.decode(&rx_c).unwrap()));
+
+    let vander = VandermondeCode::new_large(K, 2 * K).unwrap();
+    let enc_v = vander.encode(&source).unwrap();
+    let rx_v: Vec<(usize, Vec<u8>)> = (0..K / 2)
+        .map(|i| (i, enc_v[i].clone()))
+        .chain((K..K + K - K / 2).map(|i| (i, enc_v[i].clone())))
+        .collect();
+    group.bench_function("vandermonde_rs", |b| b.iter(|| vander.decode(&rx_v).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, encode_benches, decode_benches);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! The Tornado encoder: computing every check packet of the cascade plus the
+//! final-code check packets.
+//!
+//! Encoding is a single pass over the cascade (Figure 1 of the paper): each
+//! level-`i+1` packet is the XOR of its neighbours in level `i`, and the final
+//! level is additionally stretched by the conventional MDS code.  The total
+//! work is one XOR per graph edge plus the final block — the
+//! `(k + ℓ) ln(1/ε) P` encoding time of Table 1.
+
+use crate::cascade::Cascade;
+use crate::error::{Result, TornadoError};
+use df_gf::field::xor_slice;
+
+/// Produce the full encoding of `source`: `n` packets whose first `k` are the
+/// source packets themselves (the code is systematic).
+///
+/// # Errors
+///
+/// Returns [`TornadoError::MalformedInput`] if the source packet count does
+/// not match the cascade's `k` or the packets have inconsistent lengths, and
+/// propagates final-code errors (e.g. odd packet length with a GF(2^16) final
+/// block).
+pub fn encode(cascade: &Cascade, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+    if source.len() != cascade.k() {
+        return Err(TornadoError::MalformedInput {
+            reason: format!(
+                "expected {} source packets, got {}",
+                cascade.k(),
+                source.len()
+            ),
+        });
+    }
+    let len = source.first().map(|p| p.len()).unwrap_or(0);
+    if len == 0 || source.iter().any(|p| p.len() != len) {
+        return Err(TornadoError::MalformedInput {
+            reason: "source packets must be non-empty and of equal length".to_string(),
+        });
+    }
+
+    let mut encoding: Vec<Vec<u8>> = Vec::with_capacity(cascade.n());
+    encoding.extend(source.iter().cloned());
+
+    // Cascade levels: level i+1 packets are XORs over level i.
+    for (level, graph) in cascade.graphs().iter().enumerate() {
+        let left_offset = cascade.level_offset(level);
+        let mut next_level: Vec<Vec<u8>> = Vec::with_capacity(graph.right());
+        for c in 0..graph.right() {
+            let mut acc = vec![0u8; len];
+            for &l in graph.check_neighbors(c) {
+                xor_slice(&mut acc, &encoding[left_offset + l as usize]);
+            }
+            next_level.push(acc);
+        }
+        encoding.extend(next_level);
+    }
+
+    // Final conventional code over the last level.
+    let last_level = cascade.num_levels() - 1;
+    let offset = cascade.level_offset(last_level);
+    let size = cascade.level_sizes()[last_level];
+    let level_packets: Vec<Vec<u8>> = encoding[offset..offset + size].to_vec();
+    let checks = cascade.final_code().encode_checks(&level_packets)?;
+    encoding.extend(checks);
+
+    debug_assert_eq!(encoding.len(), cascade.n());
+    Ok(encoding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::Cascade;
+    use crate::profile::TORNADO_A;
+    use df_gf::field::xor_slice;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_source(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+    }
+
+    #[test]
+    fn encoding_is_systematic_and_complete() {
+        let cascade = Cascade::build(300, TORNADO_A, 1).unwrap();
+        let src = random_source(300, 40, 1);
+        let enc = encode(&cascade, &src).unwrap();
+        assert_eq!(enc.len(), cascade.n());
+        assert_eq!(&enc[..300], &src[..]);
+        assert!(enc.iter().all(|p| p.len() == 40));
+    }
+
+    #[test]
+    fn check_packets_satisfy_their_constraints() {
+        let cascade = Cascade::build(400, TORNADO_A, 2).unwrap();
+        let src = random_source(400, 16, 2);
+        let enc = encode(&cascade, &src).unwrap();
+        for (level, graph) in cascade.graphs().iter().enumerate() {
+            let left_offset = cascade.level_offset(level);
+            let check_offset = cascade.level_offset(level + 1);
+            for c in 0..graph.right() {
+                let mut acc = vec![0u8; 16];
+                for &l in graph.check_neighbors(c) {
+                    xor_slice(&mut acc, &enc[left_offset + l as usize]);
+                }
+                assert_eq!(acc, enc[check_offset + c], "level {level} check {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_source_count_rejected() {
+        let cascade = Cascade::build(10, TORNADO_A, 3).unwrap();
+        let src = random_source(9, 8, 3);
+        assert!(encode(&cascade, &src).is_err());
+    }
+
+    #[test]
+    fn inconsistent_lengths_rejected() {
+        let cascade = Cascade::build(3, TORNADO_A, 4).unwrap();
+        let src = vec![vec![1u8; 8], vec![2u8; 8], vec![3u8; 9]];
+        assert!(encode(&cascade, &src).is_err());
+        let empty = vec![vec![], vec![], vec![]];
+        assert!(encode(&cascade, &empty).is_err());
+    }
+
+    #[test]
+    fn odd_packet_length_errors_for_large_final_block() {
+        // A cascade whose final block exceeds 256 packets uses GF(2^16) and
+        // therefore requires even packet lengths; the error must be explicit.
+        let cascade = Cascade::build(8000, TORNADO_A, 5).unwrap();
+        assert!(cascade.final_code().n() > 256);
+        let src = random_source(8000, 7, 5);
+        assert!(encode(&cascade, &src).is_err());
+        let src_even = random_source(8000, 8, 5);
+        assert!(encode(&cascade, &src_even).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for Tornado code construction, encoding and decoding.
+
+/// Errors produced by the `df-core` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TornadoError {
+    /// The requested code parameters are unsupported.
+    InvalidParameters {
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// The caller supplied packets whose count or lengths are inconsistent
+    /// with the code parameters.
+    MalformedInput {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// The decoder has not yet received enough packets to reconstruct the
+    /// source data.  Unlike an MDS code this is not a fixed threshold: it
+    /// depends on *which* packets arrived (the reception-overhead variation
+    /// of Figure 2 in the paper).
+    NeedMorePackets {
+        /// Number of distinct encoding packets received so far.
+        received: usize,
+        /// Number of source packets (`k`); useful to compute the overhead so
+        /// far as `received as f64 / k as f64 - 1.0`.
+        k: usize,
+    },
+    /// An error bubbled up from the Reed–Solomon code protecting the final
+    /// cascade level.
+    FinalLevelCode(String),
+}
+
+impl std::fmt::Display for TornadoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TornadoError::InvalidParameters { reason } => {
+                write!(f, "invalid Tornado code parameters: {reason}")
+            }
+            TornadoError::MalformedInput { reason } => write!(f, "malformed input: {reason}"),
+            TornadoError::NeedMorePackets { received, k } => write!(
+                f,
+                "cannot reconstruct source yet: {received} packets received for k = {k}"
+            ),
+            TornadoError::FinalLevelCode(msg) => {
+                write!(f, "final-level Reed-Solomon code failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TornadoError {}
+
+impl From<df_rs::RsError> for TornadoError {
+    fn from(value: df_rs::RsError) -> Self {
+        TornadoError::FinalLevelCode(value.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TornadoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = TornadoError::NeedMorePackets { received: 900, k: 1000 };
+        let msg = e.to_string();
+        assert!(msg.contains("900"));
+        assert!(msg.contains("1000"));
+    }
+
+    #[test]
+    fn rs_error_converts() {
+        let rs = df_rs::RsError::NotEnoughPackets { have: 1, need: 2 };
+        let e: TornadoError = rs.into();
+        assert!(matches!(e, TornadoError::FinalLevelCode(_)));
+    }
+}

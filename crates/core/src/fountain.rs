@@ -1,0 +1,261 @@
+//! The digital-fountain abstraction and the carousel approximation.
+//!
+//! Section 3 of the paper defines the *ideal* digital fountain: an unbounded
+//! stream of distinct encoding packets from which **any** subset of size `k`
+//! reconstructs the source.  Section 4 approximates it by encoding with a
+//! fixed stretch factor and cycling through the `n` encoding packets (the
+//! carousel): a receiver that joins at an arbitrary time and suffers
+//! arbitrary loss keeps listening until its decoder completes.
+//!
+//! [`PacketStream`] is the common interface; [`Carousel`] is the concrete
+//! approximation used by the simulations and the prototype server.  The
+//! carousel transmits a fresh pseudo-random permutation of the encoding on
+//! every cycle, which is what the paper's simulations do ("the server then
+//! simply cycled through a random permutation of the source and redundant
+//! packets", Section 7.1).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An unbounded source of encoding-packet indices, in transmission order.
+///
+/// Implementations decide how the index sequence is generated; consumers pull
+/// one index per packet-transmission opportunity.  The ideal digital fountain
+/// would never repeat an index; practical approximations repeat after a full
+/// cycle of the finite encoding.
+pub trait PacketStream {
+    /// The index of the next encoding packet to transmit.
+    fn next_index(&mut self) -> usize;
+
+    /// Total number of distinct encoding packets this stream draws from.
+    fn universe(&self) -> usize;
+
+    /// Number of packet transmissions produced so far.
+    fn transmitted(&self) -> u64;
+}
+
+/// Carousel transmission order over a finite encoding of `n` packets.
+///
+/// Each cycle is an independent pseudo-random permutation of `0..n`, seeded
+/// deterministically so that a sender can be reproduced exactly in tests and
+/// simulations.
+#[derive(Debug, Clone)]
+pub struct Carousel {
+    n: usize,
+    rng: ChaCha8Rng,
+    current: Vec<usize>,
+    pos: usize,
+    transmitted: u64,
+    shuffle: bool,
+}
+
+impl Carousel {
+    /// A carousel over `n` packets that transmits a fresh random permutation
+    /// each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "carousel needs at least one packet");
+        let mut c = Carousel {
+            n,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            current: (0..n).collect(),
+            pos: 0,
+            transmitted: 0,
+            shuffle: true,
+        };
+        c.reshuffle();
+        c
+    }
+
+    /// A carousel that cycles through the packets in index order without
+    /// shuffling (the plain data-carousel / broadcast-disk behaviour the paper
+    /// contrasts with in Section 1).
+    pub fn sequential(n: usize) -> Self {
+        assert!(n > 0, "carousel needs at least one packet");
+        Carousel {
+            n,
+            rng: ChaCha8Rng::seed_from_u64(0),
+            current: (0..n).collect(),
+            pos: 0,
+            transmitted: 0,
+            shuffle: false,
+        }
+    }
+
+    fn reshuffle(&mut self) {
+        if self.shuffle {
+            self.current.shuffle(&mut self.rng);
+        }
+        self.pos = 0;
+    }
+
+    /// Number of completed full cycles.
+    pub fn cycles_completed(&self) -> u64 {
+        self.transmitted / self.n as u64
+    }
+}
+
+impl PacketStream for Carousel {
+    fn next_index(&mut self) -> usize {
+        if self.pos == self.n {
+            self.reshuffle();
+        }
+        let idx = self.current[self.pos];
+        self.pos += 1;
+        self.transmitted += 1;
+        idx
+    }
+
+    fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+}
+
+/// Reception-side bookkeeping shared by the simulations and the prototype
+/// client: how many packets were received in total, how many were distinct,
+/// and therefore the reception, coding and distinctness efficiencies of
+/// Section 7.3.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReceptionCounter {
+    distinct: usize,
+    total: usize,
+    seen: Vec<bool>,
+}
+
+impl ReceptionCounter {
+    /// Counter over an encoding of `n` packets.
+    pub fn new(n: usize) -> Self {
+        ReceptionCounter {
+            distinct: 0,
+            total: 0,
+            seen: vec![false; n],
+        }
+    }
+
+    /// Record the reception of encoding packet `index`; returns `true` if it
+    /// was new.
+    pub fn record(&mut self, index: usize) -> bool {
+        self.total += 1;
+        if self.seen[index] {
+            false
+        } else {
+            self.seen[index] = true;
+            self.distinct += 1;
+            true
+        }
+    }
+
+    /// Total packets received (including duplicates).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Distinct packets received.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Duplicate receptions.
+    pub fn duplicates(&self) -> usize {
+        self.total - self.distinct
+    }
+
+    /// Reception efficiency `η = k / total` for a file of `k` source packets
+    /// (Section 6 definition).
+    pub fn reception_efficiency(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        k as f64 / self.total as f64
+    }
+
+    /// Coding efficiency `η_c = k / distinct` (Section 7.3).
+    pub fn coding_efficiency(&self, k: usize) -> f64 {
+        if self.distinct == 0 {
+            return 0.0;
+        }
+        k as f64 / self.distinct as f64
+    }
+
+    /// Distinctness efficiency `η_d = distinct / total` (Section 7.3).
+    pub fn distinctness_efficiency(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.distinct as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn carousel_covers_every_packet_each_cycle() {
+        let mut c = Carousel::new(100, 7);
+        for cycle in 0..3 {
+            let batch: HashSet<usize> = (0..100).map(|_| c.next_index()).collect();
+            assert_eq!(batch.len(), 100, "cycle {cycle} repeated a packet");
+        }
+        assert_eq!(c.cycles_completed(), 3);
+        assert_eq!(c.transmitted(), 300);
+    }
+
+    #[test]
+    fn carousel_cycles_use_different_permutations() {
+        let mut c = Carousel::new(50, 1);
+        let first: Vec<usize> = (0..50).map(|_| c.next_index()).collect();
+        let second: Vec<usize> = (0..50).map(|_| c.next_index()).collect();
+        assert_ne!(first, second, "consecutive cycles should be shuffled differently");
+    }
+
+    #[test]
+    fn sequential_carousel_preserves_order() {
+        let mut c = Carousel::sequential(5);
+        let got: Vec<usize> = (0..12).map(|_| c.next_index()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn carousel_is_deterministic_in_seed() {
+        let mut a = Carousel::new(64, 9);
+        let mut b = Carousel::new(64, 9);
+        for _ in 0..200 {
+            assert_eq!(a.next_index(), b.next_index());
+        }
+    }
+
+    #[test]
+    fn reception_counter_efficiencies() {
+        let mut r = ReceptionCounter::new(8);
+        for idx in [0usize, 1, 2, 2, 3, 3, 3] {
+            r.record(idx);
+        }
+        assert_eq!(r.total(), 7);
+        assert_eq!(r.distinct(), 4);
+        assert_eq!(r.duplicates(), 3);
+        assert!((r.distinctness_efficiency() - 4.0 / 7.0).abs() < 1e-12);
+        assert!((r.coding_efficiency(3) - 0.75).abs() < 1e-12);
+        assert!((r.reception_efficiency(3) - 3.0 / 7.0).abs() < 1e-12);
+        // η = η_c · η_d as stated in Section 7.3.
+        let eta = r.reception_efficiency(3);
+        assert!((eta - r.coding_efficiency(3) * r.distinctness_efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_is_safe() {
+        let r = ReceptionCounter::new(4);
+        assert_eq!(r.reception_efficiency(4), 0.0);
+        assert_eq!(r.coding_efficiency(4), 0.0);
+        assert_eq!(r.distinctness_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Tornado code profiles: the parameter sets behind "Tornado A" and
+//! "Tornado B" in the paper.
+//!
+//! The paper evaluates two codes built "using some of the principles described
+//! in [8] and [9]" (Section 5.2) but does not publish their graph parameters.
+//! We therefore define profiles in terms of the published trade-off:
+//!
+//! * **Tornado A** — lower average degree, fastest decoding, average reception
+//!   overhead ≈ 0.05 (measured 0.0548 in the paper, max 0.0850).
+//! * **Tornado B** — denser graphs, decoding a few times slower, average
+//!   reception overhead ≈ 0.03 (measured 0.0306, max 0.0550).
+//!
+//! The concrete degree distributions below were calibrated empirically with
+//! the symbolic decoder (the procedure and the measured overhead statistics
+//! are recorded in EXPERIMENTS.md) so that at the paper's benchmark sizes the
+//! overheads land in the right bands while keeping the A-vs-B ordering of
+//! decode cost.
+
+use crate::degree::DegreeDistribution;
+use crate::graph::CheckSide;
+use serde::Serialize;
+
+/// Parameters describing one Tornado code construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TornadoProfile {
+    /// Human-readable profile name ("tornado-a", "tornado-b", ...).
+    pub name: &'static str,
+    /// Left (message-node) degree distribution for every cascade graph.
+    pub distribution: DegreeDistribution,
+    /// How check-node degrees are assigned.
+    pub check_side: CheckSide,
+    /// Stretch factor `c = n / k`.  The paper uses `c = 2` throughout
+    /// (Section 4) to keep memory and decode state proportional to the
+    /// encoding length.
+    pub stretch_factor: f64,
+    /// Stop cascading when a level would have at most this many packets; the
+    /// remaining redundancy is produced by a conventional (Cauchy
+    /// Reed–Solomon) code over that final level.
+    pub final_level_threshold: usize,
+    /// The final level threshold also scales with `k` as
+    /// `k / final_level_divisor` so that the Reed–Solomon block keeps good
+    /// concentration for large files without dominating decode time.
+    pub final_level_divisor: usize,
+}
+
+impl TornadoProfile {
+    /// The Tornado A profile: fastest decoding, small MDS tail.
+    ///
+    /// Calibration (see `examples/calibrate.rs` and EXPERIMENTS.md): heavy-tail
+    /// `D = 8` graphs, right-regular check degrees, low-degree-node
+    /// conditioning, and an MDS tail of `max(400, k/16)` packets.  Measured
+    /// mean reception overhead is ≈ 0.12 at 2 MB files and ≈ 0.094 at 16 MB
+    /// files with a short tail (maximum ≈ 0.15).  This is roughly twice the
+    /// overhead the paper reports for its hand-optimised (unpublished) Tornado
+    /// A sequences; the gap and its cause are discussed in EXPERIMENTS.md.
+    pub const fn tornado_a() -> Self {
+        TornadoProfile {
+            name: "tornado-a",
+            distribution: DegreeDistribution::heavy_tail(8),
+            check_side: CheckSide::Regular,
+            stretch_factor: 2.0,
+            final_level_threshold: 400,
+            final_level_divisor: 16,
+        }
+    }
+
+    /// The Tornado B profile: slower decoding, slightly smaller reception
+    /// overhead.
+    ///
+    /// The paper describes Tornado B only as "a slightly different code
+    /// structure that is slower to decode but yields a smaller average
+    /// reception overhead".  Our calibrated realisation keeps Tornado A's
+    /// peeling graphs but devotes a substantially larger share of the encoding
+    /// to the MDS tail (`max(1000, k/6)` packets), which both lowers the
+    /// overhead (the MDS block needs no overhead at all) and makes decoding
+    /// slower: more of the reconstruction runs through the quadratic-time
+    /// Reed–Solomon block instead of the linear-time XOR peeling.
+    pub const fn tornado_b() -> Self {
+        TornadoProfile {
+            name: "tornado-b",
+            distribution: DegreeDistribution::heavy_tail(8),
+            check_side: CheckSide::Regular,
+            stretch_factor: 2.0,
+            final_level_threshold: 1000,
+            final_level_divisor: 6,
+        }
+    }
+
+    /// Effective final-level threshold for a given `k`.
+    pub fn final_threshold_for(&self, k: usize) -> usize {
+        self.final_level_threshold
+            .max(k / self.final_level_divisor.max(1))
+    }
+
+    /// Average XOR cost per message packet implied by the profile's degree
+    /// distribution — the `ln(1/ε)` factor of Table 1.
+    pub fn average_degree(&self) -> f64 {
+        self.distribution.mean()
+    }
+}
+
+impl Default for TornadoProfile {
+    fn default() -> Self {
+        TornadoProfile::tornado_a()
+    }
+}
+
+/// The Tornado A profile (see [`TornadoProfile::tornado_a`]).
+pub const TORNADO_A: TornadoProfile = TornadoProfile::tornado_a();
+
+/// The Tornado B profile (see [`TornadoProfile::tornado_b`]).
+pub const TORNADO_B: TornadoProfile = TornadoProfile::tornado_b();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_a_is_default() {
+        assert_eq!(TornadoProfile::default(), TORNADO_A);
+    }
+
+    #[test]
+    fn b_spends_more_on_the_mds_tail_than_a() {
+        // Tornado B's slower decode comes from pushing a larger share of the
+        // encoding through the quadratic-time final block.
+        for k in [2_000usize, 8_264, 16_384] {
+            assert!(
+                TORNADO_B.final_threshold_for(k) > TORNADO_A.final_threshold_for(k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_threshold_scales_with_k() {
+        let p = TORNADO_A;
+        assert_eq!(p.final_threshold_for(1000), p.final_level_threshold);
+        assert_eq!(p.final_threshold_for(64_000), 4000);
+    }
+
+    #[test]
+    fn stretch_factor_is_two_as_in_the_paper() {
+        assert_eq!(TORNADO_A.stretch_factor, 2.0);
+        assert_eq!(TORNADO_B.stretch_factor, 2.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! GF(2^16) — used when a single Reed–Solomon block spans more than 255
+//! packets (e.g. the non-interleaved Vandermonde baseline encoding a whole
+//! multi-megabyte file, Tables 2 and 3 of the paper).
+//!
+//! Elements are `u16`.  The full multiplication table would be 8 GiB, so
+//! multiplication goes through 64 K-entry log/exp tables instead; the
+//! slice kernels look up per-call log rows which keeps the per-byte cost at two
+//! table lookups and one add.
+
+use crate::field::Field;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+/// Primitive polynomial x^16 + x^12 + x^3 + x + 1.
+const PRIM_POLY: u32 = 0x1100b;
+
+struct Tables {
+    /// `exp[i] = g^i`, doubled (131070 entries) to avoid a modulo in mul.
+    exp: Vec<u16>,
+    /// `log[x]`; `log[0]` unused.
+    log: Vec<u32>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * 65535 + 2];
+        let mut log = vec![0u32; 65536];
+        let mut x: u32 = 1;
+        for i in 0..65535 {
+            exp[i] = x as u16;
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= PRIM_POLY;
+            }
+        }
+        for i in 65535..exp.len() {
+            exp[i] = exp[i - 65535];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct GF65536(pub u16);
+
+impl From<u16> for GF65536 {
+    fn from(value: u16) -> Self {
+        GF65536(value)
+    }
+}
+
+impl From<GF65536> for u16 {
+    fn from(value: GF65536) -> Self {
+        value.0
+    }
+}
+
+impl Add for GF65536 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        GF65536(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for GF65536 {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for GF65536 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        GF65536(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for GF65536 {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for GF65536 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        self
+    }
+}
+
+impl Mul for GF65536 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return GF65536(0);
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] + t.log[rhs.0 as usize];
+        GF65536(t.exp[idx as usize])
+    }
+}
+
+impl MulAssign for GF65536 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for GF65536 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        assert!(rhs.0 != 0, "division by zero in GF(2^16)");
+        if self.0 == 0 {
+            return GF65536(0);
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] + 65535 - t.log[rhs.0 as usize];
+        GF65536(t.exp[idx as usize])
+    }
+}
+
+impl Field for GF65536 {
+    const ZERO: Self = GF65536(0);
+    const ONE: Self = GF65536(1);
+    const BITS: u32 = 16;
+    const ORDER: usize = 65536;
+
+    fn from_usize(value: usize) -> Self {
+        GF65536((value % 65536) as u16)
+    }
+
+    fn to_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    fn inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            let t = tables();
+            Some(GF65536(t.exp[(65535 - t.log[self.0 as usize]) as usize]))
+        }
+    }
+
+    fn generator() -> Self {
+        GF65536(2)
+    }
+
+    fn mul_acc_slice(coeff: Self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "mul_acc_slice requires equal lengths");
+        assert_eq!(
+            dst.len() % 2,
+            0,
+            "GF(2^16) slices must contain whole 16-bit elements"
+        );
+        if coeff.0 == 0 {
+            return;
+        }
+        if coeff.0 == 1 {
+            crate::field::xor_slice(dst, src);
+            return;
+        }
+        let t = tables();
+        let log_c = t.log[coeff.0 as usize];
+        for i in (0..dst.len()).step_by(2) {
+            let s = u16::from_le_bytes([src[i], src[i + 1]]);
+            if s == 0 {
+                continue;
+            }
+            let prod = t.exp[(log_c + t.log[s as usize]) as usize];
+            let d = u16::from_le_bytes([dst[i], dst[i + 1]]) ^ prod;
+            dst[i..i + 2].copy_from_slice(&d.to_le_bytes());
+        }
+    }
+
+    fn mul_slice(coeff: Self, data: &mut [u8]) {
+        assert_eq!(
+            data.len() % 2,
+            0,
+            "GF(2^16) slices must contain whole 16-bit elements"
+        );
+        if coeff.0 == 1 {
+            return;
+        }
+        if coeff.0 == 0 {
+            data.fill(0);
+            return;
+        }
+        let t = tables();
+        let log_c = t.log[coeff.0 as usize];
+        for i in (0..data.len()).step_by(2) {
+            let s = u16::from_le_bytes([data[i], data[i + 1]]);
+            let prod = if s == 0 {
+                0
+            } else {
+                t.exp[(log_c + t.log[s as usize]) as usize]
+            };
+            data[i..i + 2].copy_from_slice(&prod.to_le_bytes());
+        }
+    }
+}
+
+impl std::fmt::Display for GF65536 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(GF65536(0x1234) + GF65536(0x5678), GF65536(0x1234 ^ 0x5678));
+    }
+
+    #[test]
+    fn generator_powers_do_not_repeat_early() {
+        // Checking full order (65535 steps) is cheap enough to do once.
+        let g = GF65536::generator();
+        let mut x = GF65536::ONE;
+        for i in 1..=65535u32 {
+            x = x * g;
+            if x == GF65536::ONE {
+                assert_eq!(i, 65535, "generator order must be 65535, repeated at {i}");
+            }
+        }
+        assert_eq!(x, GF65536::ONE);
+    }
+
+    #[test]
+    fn inverse_roundtrip_sampled() {
+        for v in (1..=65535u32).step_by(251) {
+            let x = GF65536(v as u16);
+            assert_eq!(x * x.inverse().unwrap(), GF65536::ONE);
+        }
+        assert_eq!(GF65536::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn mul_slice_and_acc_consistent() {
+        let src: Vec<u8> = (0..128u16).flat_map(|v| (v * 513).to_le_bytes()).collect();
+        let coeff = GF65536(0xabc);
+        let mut scaled = src.clone();
+        GF65536::mul_slice(coeff, &mut scaled);
+        let mut acc = vec![0u8; src.len()];
+        GF65536::mul_acc_slice(coeff, &mut acc, &src);
+        assert_eq!(scaled, acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole 16-bit elements")]
+    fn odd_length_slices_rejected() {
+        let mut data = vec![0u8; 3];
+        GF65536::mul_slice(GF65536(2), &mut data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_field_axioms(a: u16, b: u16, c: u16) {
+            let (a, b, c) = (GF65536(a), GF65536(b), GF65536(c));
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            prop_assert_eq!(a + a, GF65536::ZERO);
+        }
+
+        #[test]
+        fn prop_div_mul_roundtrip(a: u16, b in 1u16..=u16::MAX) {
+            let q = GF65536(a) / GF65536(b);
+            prop_assert_eq!(q * GF65536(b), GF65536(a));
+        }
+
+        #[test]
+        fn prop_pow_consistent(a: u16, e in 0u64..32) {
+            let x = GF65536(a);
+            let mut acc = GF65536::ONE;
+            for _ in 0..e { acc = acc * x; }
+            prop_assert_eq!(x.pow(e), acc);
+        }
+    }
+}

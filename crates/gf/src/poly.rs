@@ -1,0 +1,158 @@
+//! Polynomials over a [`Field`].
+//!
+//! Used for Lagrange-style evaluation checks in tests and for constructing
+//! evaluation-point sets for the Vandermonde Reed–Solomon code.  This module
+//! is intentionally small: the erasure codes themselves work directly with
+//! matrices, but having an independent polynomial implementation lets the test
+//! suite cross-check the codes against the "evaluate a degree-(k-1) polynomial
+//! at n points" view of Reed–Solomon.
+
+use crate::field::Field;
+
+/// A dense polynomial with coefficients in `F`, lowest degree first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly<F: Field> {
+    coeffs: Vec<F>,
+}
+
+impl<F: Field> Poly<F> {
+    /// Construct from coefficients (constant term first).  Trailing zeros are
+    /// trimmed so that the degree is well defined.
+    pub fn new(mut coeffs: Vec<F>) -> Self {
+        while coeffs.len() > 1 && coeffs.last().map(|c| c.is_zero()).unwrap_or(false) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(F::ZERO);
+        }
+        Poly { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly {
+            coeffs: vec![F::ZERO],
+        }
+    }
+
+    /// Degree of the polynomial (0 for constants, including the zero poly).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[F] {
+        &self.coeffs
+    }
+
+    /// Evaluate at a point using Horner's rule.
+    pub fn eval(&self, x: F) -> F {
+        let mut acc = F::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Lagrange interpolation through the given (x, y) points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the x-values are not distinct or the slices differ in length.
+    pub fn interpolate(xs: &[F], ys: &[F]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "interpolate needs matching point counts");
+        let n = xs.len();
+        let mut result = vec![F::ZERO; n.max(1)];
+        for i in 0..n {
+            // Build the i-th Lagrange basis polynomial incrementally.
+            let mut basis = vec![F::ONE];
+            let mut denom = F::ONE;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                // basis *= (x - xs[j])  (subtraction == addition in char 2)
+                let mut next = vec![F::ZERO; basis.len() + 1];
+                for (d, &b) in basis.iter().enumerate() {
+                    next[d + 1] += b;
+                    next[d] += b * xs[j];
+                }
+                basis = next;
+                let diff = xs[i] + xs[j];
+                assert!(!diff.is_zero(), "interpolation points must be distinct");
+                denom *= diff;
+            }
+            let scale = ys[i]
+                * denom
+                    .inverse()
+                    .expect("denominator is a product of nonzero factors");
+            for (d, &b) in basis.iter().enumerate() {
+                result[d] += b * scale;
+            }
+        }
+        Poly::new(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GF256;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_constant() {
+        let p = Poly::new(vec![GF256(7)]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.eval(GF256(99)), GF256(7));
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![GF256(1), GF256(2), GF256(0), GF256(0)]);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn interpolate_recovers_polynomial() {
+        let p = Poly::new(vec![GF256(3), GF256(1), GF256(4), GF256(1), GF256(5)]);
+        let xs: Vec<GF256> = (1..=5u8).map(GF256).collect();
+        let ys: Vec<GF256> = xs.iter().map(|&x| p.eval(x)).collect();
+        let q = Poly::interpolate(&xs, &ys);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn interpolation_through_any_k_points_is_consistent() {
+        // Reed–Solomon view: a degree-(k-1) polynomial is determined by any k
+        // of its evaluations.
+        let p = Poly::new(vec![GF256(9), GF256(8), GF256(7)]);
+        let xs: Vec<GF256> = (1..=6u8).map(GF256).collect();
+        let ys: Vec<GF256> = xs.iter().map(|&x| p.eval(x)).collect();
+        let pick = [5usize, 1, 3];
+        let sel_x: Vec<GF256> = pick.iter().map(|&i| xs[i]).collect();
+        let sel_y: Vec<GF256> = pick.iter().map(|&i| ys[i]).collect();
+        assert_eq!(Poly::interpolate(&sel_x, &sel_y), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_panic() {
+        let xs = vec![GF256(1), GF256(1)];
+        let ys = vec![GF256(2), GF256(3)];
+        let _ = Poly::interpolate(&xs, &ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_interpolation_roundtrip(coeffs in proptest::collection::vec(any::<u8>(), 1..8)) {
+            let p = Poly::new(coeffs.into_iter().map(GF256).collect());
+            let n = p.degree() + 1;
+            let xs: Vec<GF256> = (1..=n as u8).map(GF256).collect();
+            let ys: Vec<GF256> = xs.iter().map(|&x| p.eval(x)).collect();
+            prop_assert_eq!(Poly::interpolate(&xs, &ys), p);
+        }
+    }
+}

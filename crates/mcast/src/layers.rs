@@ -1,0 +1,378 @@
+//! Layered multicast sessions and adaptive receivers (Sections 7.1.1 and 7.3).
+//!
+//! The server organises the encoding into `g` cumulative layers with
+//! geometrically increasing rates and drives congestion control itself:
+//! specially marked *synchronisation points* (SPs) are the only instants at
+//! which a receiver may join a higher layer, and periodic *burst periods*
+//! (packets sent at twice the normal rate) let a receiver probe whether it
+//! could sustain the next level without sending any feedback to the source.
+//! Receivers subscribe to a prefix of the layers, move up after an SP if the
+//! preceding burst caused no loss, and drop a layer whenever they experience
+//! sustained loss.
+//!
+//! [`LayeredSession::simulate_receiver`] runs one receiver through this
+//! protocol against a bottleneck-bandwidth channel with additional random
+//! loss and reports the reception, coding and distinctness efficiencies of
+//! Section 7.3 — the quantities plotted in Figure 8 of the paper.
+
+use crate::schedule::TransmissionSchedule;
+use df_core::{AddOutcome, Mark, TornadoCode};
+use rand::Rng;
+use serde::Serialize;
+
+/// A layered transmission session for one Tornado-encoded file.
+#[derive(Debug, Clone)]
+pub struct LayeredSession {
+    schedule: TransmissionSchedule,
+    /// Rounds between synchronisation points.
+    sp_interval: usize,
+    /// Rounds of double-rate burst preceding each SP.
+    burst_rounds: usize,
+}
+
+impl LayeredSession {
+    /// Create a session over `n` encoding packets and `layers` multicast
+    /// groups, with an SP every `sp_interval` rounds preceded by
+    /// `burst_rounds` rounds of double-rate bursting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (no layers, empty encoding, zero SP
+    /// interval, or bursts longer than the SP interval).
+    pub fn new(layers: usize, n: usize, sp_interval: usize, burst_rounds: usize) -> Self {
+        assert!(sp_interval > 0, "SP interval must be positive");
+        assert!(
+            burst_rounds < sp_interval,
+            "burst must be shorter than the SP interval"
+        );
+        LayeredSession {
+            schedule: TransmissionSchedule::new(layers, n),
+            sp_interval,
+            burst_rounds,
+        }
+    }
+
+    /// The packet schedule in use.
+    pub fn schedule(&self) -> &TransmissionSchedule {
+        &self.schedule
+    }
+
+    /// True if `round` is a synchronisation point (a join opportunity).
+    pub fn is_sync_point(&self, round: usize) -> bool {
+        round % self.sp_interval == 0 && round > 0
+    }
+
+    /// True if `round` falls inside the burst period preceding the next SP.
+    pub fn is_burst(&self, round: usize) -> bool {
+        let phase = round % self.sp_interval;
+        phase + self.burst_rounds >= self.sp_interval
+    }
+
+    /// Simulate one adaptive receiver downloading `code` through this session.
+    ///
+    /// `bottleneck` is the receiver's bottleneck bandwidth in units of the
+    /// base-layer rate; `extra_loss` is an additional independent loss
+    /// probability on every packet (congestion elsewhere in the network).
+    /// Packets beyond the bottleneck within a round are dropped (tail drop),
+    /// which is both how the receiver experiences congestion and the signal
+    /// its join/leave decisions react to.
+    pub fn simulate_receiver<R: Rng + ?Sized>(
+        &self,
+        code: &TornadoCode,
+        bottleneck: f64,
+        extra_loss: f64,
+        rng: &mut R,
+    ) -> ReceiverReport {
+        let g = self.schedule.layers();
+        let blocks = self.schedule.num_blocks() as f64;
+        let mut level = 0usize; // current cumulative subscription level
+        let mut decoder = code.symbolic_decoder();
+        let mut seen = vec![false; code.n()];
+        let mut received = 0usize;
+        let mut distinct = 0usize;
+        let mut loss_since_sp = false;
+        let mut burst_loss = false;
+        let mut round = 0usize;
+        let max_rounds = 64 * self.schedule.block_size().max(self.sp_interval) * 64;
+        let mut complete = false;
+        while round < max_rounds && !complete {
+            // Join/leave decisions happen at SPs based on what the last burst
+            // and inter-SP period showed.
+            if self.is_sync_point(round) {
+                if loss_since_sp {
+                    level = level.saturating_sub(1);
+                } else if !burst_loss && level + 1 < g {
+                    level += 1;
+                }
+                loss_since_sp = false;
+                burst_loss = false;
+            }
+            let burst = self.is_burst(round);
+            let rate_multiplier = if burst { 2.0 } else { 1.0 };
+            // Offered load at this subscription level, in base-rate units,
+            // normalised per block so the bottleneck is file-size independent.
+            let offered = self.schedule.cumulative_bandwidth(level) as f64 * rate_multiplier;
+            let deliver_fraction = (bottleneck / offered).min(1.0);
+            let mut round_packets: Vec<usize> = Vec::new();
+            for layer in 0..=level {
+                round_packets.extend(self.schedule.transmission(layer, round));
+                if burst {
+                    // The burst repeats the layer's packets at double rate; the
+                    // extra copies stress the bottleneck but carry no new data.
+                    round_packets.extend(self.schedule.transmission(layer, round));
+                }
+            }
+            for idx in round_packets {
+                // Tail-drop at the bottleneck plus independent background loss.
+                let dropped = rng.gen::<f64>() >= deliver_fraction || rng.gen::<f64>() < extra_loss;
+                if dropped {
+                    if burst {
+                        burst_loss = true;
+                    } else {
+                        loss_since_sp = true;
+                    }
+                    continue;
+                }
+                received += 1;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    distinct += 1;
+                }
+                if decoder.add_packet(idx, Mark).expect("index in range") == AddOutcome::Complete {
+                    complete = true;
+                    break;
+                }
+            }
+            round += 1;
+        }
+        let _ = blocks;
+        ReceiverReport {
+            complete,
+            received,
+            distinct,
+            k: code.k(),
+            final_level: level,
+            rounds: round,
+        }
+    }
+}
+
+/// Outcome of one simulated layered (or single-layer) receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReceiverReport {
+    /// Whether the receiver reconstructed the file within the simulation
+    /// horizon.
+    pub complete: bool,
+    /// Packets received (after loss), including duplicates.
+    pub received: usize,
+    /// Distinct encoding packets received.
+    pub distinct: usize,
+    /// Source packets in the file.
+    pub k: usize,
+    /// Subscription level at the end of the download.
+    pub final_level: usize,
+    /// Rounds the download took.
+    pub rounds: usize,
+}
+
+impl ReceiverReport {
+    /// Reception efficiency `η = k / received`.
+    pub fn reception_efficiency(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.k as f64 / self.received as f64
+        }
+    }
+
+    /// Coding efficiency `η_c = k / distinct`.
+    pub fn coding_efficiency(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            self.k as f64 / self.distinct as f64
+        }
+    }
+
+    /// Distinctness efficiency `η_d = distinct / received`.
+    pub fn distinctness_efficiency(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.received as f64
+        }
+    }
+
+    /// Overall loss rate experienced relative to what was transmitted to the
+    /// receiver's subscription — not tracked directly; use the efficiencies.
+    pub fn reception_overhead(&self) -> f64 {
+        self.received as f64 / self.k as f64 - 1.0
+    }
+}
+
+/// A single-layer receiver at a fixed loss rate — the "single layer protocol"
+/// control experiment of Section 7.3 (left half of Figure 8).  The receiver
+/// simply listens to layer 0's schedule (a carousel) and loses each packet
+/// independently with probability `loss`.
+pub fn simulate_single_layer_receiver<R: Rng + ?Sized>(
+    code: &TornadoCode,
+    schedule: &TransmissionSchedule,
+    loss: f64,
+    rng: &mut R,
+) -> ReceiverReport {
+    let mut decoder = code.symbolic_decoder();
+    let mut seen = vec![false; code.n()];
+    let mut received = 0usize;
+    let mut distinct = 0usize;
+    let mut complete = false;
+    let mut round = 0usize;
+    // A single-layer receiver subscribes to every layer's traffic on one
+    // group; equivalently it sees the full per-round block pattern.
+    let max_rounds = 64 * schedule.block_size() * 64;
+    while round < max_rounds && !complete {
+        for layer in 0..schedule.layers() {
+            for idx in schedule.transmission(layer, round) {
+                if rng.gen::<f64>() < loss {
+                    continue;
+                }
+                received += 1;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    distinct += 1;
+                }
+                if decoder.add_packet(idx, Mark).expect("index in range") == AddOutcome::Complete {
+                    complete = true;
+                    break;
+                }
+            }
+            if complete {
+                break;
+            }
+        }
+        round += 1;
+    }
+    ReceiverReport {
+        complete,
+        received,
+        distinct,
+        k: code.k(),
+        final_level: 0,
+        rounds: round,
+    }
+}
+
+/// One simulated receiver used by the `df-proto` prototype experiments; kept
+/// here so both the prototype and the bench harness share it.
+pub type LayeredReceiver = ReceiverReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn code() -> TornadoCode {
+        TornadoCode::new_a(1000, 7).unwrap()
+    }
+
+    #[test]
+    fn sync_points_and_bursts_alternate_sensibly() {
+        let s = LayeredSession::new(4, 2000, 16, 2);
+        assert!(!s.is_sync_point(0));
+        assert!(s.is_sync_point(16));
+        assert!(!s.is_sync_point(17));
+        assert!(s.is_burst(14));
+        assert!(s.is_burst(15));
+        assert!(!s.is_burst(3));
+    }
+
+    #[test]
+    fn single_layer_receiver_no_loss_has_full_distinctness() {
+        let code = code();
+        let schedule = TransmissionSchedule::new(4, code.n());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = simulate_single_layer_receiver(&code, &schedule, 0.0, &mut rng);
+        assert!(r.complete);
+        // One Level Property: no duplicates before reconstruction at zero loss.
+        assert!((r.distinctness_efficiency() - 1.0).abs() < 1e-12);
+        assert!(r.coding_efficiency() > 0.7);
+    }
+
+    #[test]
+    fn single_layer_distinctness_stays_high_below_half_loss() {
+        let code = code();
+        let schedule = TransmissionSchedule::new(4, code.n());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let r = simulate_single_layer_receiver(&code, &schedule, 0.3, &mut rng);
+        assert!(r.complete);
+        assert!(
+            r.distinctness_efficiency() > 0.95,
+            "η_d = {} should stay near 1 below 50 % loss",
+            r.distinctness_efficiency()
+        );
+    }
+
+    #[test]
+    fn severe_loss_still_reconstructs_with_reduced_efficiency() {
+        let code = code();
+        let schedule = TransmissionSchedule::new(4, code.n());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let r = simulate_single_layer_receiver(&code, &schedule, 0.7, &mut rng);
+        assert!(r.complete);
+        assert!(r.distinctness_efficiency() < 1.0);
+        assert!(r.reception_efficiency() > 0.4, "η = {}", r.reception_efficiency());
+    }
+
+    #[test]
+    fn layered_receiver_converges_to_its_bottleneck_level() {
+        let code = code();
+        let session = LayeredSession::new(4, code.n(), 8, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Bottleneck of 4 base-rate units supports cumulative level 2
+        // (bandwidth 1+1+2 = 4) but not level 3 (bandwidth 8).
+        let r = session.simulate_receiver(&code, 4.0, 0.0, &mut rng);
+        assert!(r.complete);
+        assert!(r.final_level <= 2, "level {} exceeds the bottleneck", r.final_level);
+    }
+
+    #[test]
+    fn wide_bottleneck_receiver_reaches_the_top_level_and_downloads_fast() {
+        // Frequent SPs so the wide receiver has several join opportunities
+        // before the (short) download finishes.
+        let code = code();
+        let session = LayeredSession::new(4, code.n(), 4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let fast = session.simulate_receiver(&code, 32.0, 0.0, &mut rng);
+        let slow = session.simulate_receiver(&code, 1.0, 0.0, &mut rng);
+        assert!(fast.complete && slow.complete);
+        assert!(
+            fast.final_level > slow.final_level,
+            "fast level {} vs slow level {}",
+            fast.final_level,
+            slow.final_level
+        );
+        // A higher subscription level means more packets per round reach the
+        // receiver, i.e. higher download throughput.
+        let throughput = |r: &ReceiverReport| r.received as f64 / r.rounds.max(1) as f64;
+        assert!(
+            throughput(&fast) > throughput(&slow),
+            "fast throughput {} must beat slow throughput {}",
+            throughput(&fast),
+            throughput(&slow)
+        );
+    }
+
+    #[test]
+    fn layer_switching_costs_distinctness_efficiency() {
+        // A receiver whose bottleneck sits between levels keeps oscillating,
+        // which is exactly the effect the paper reports: duplicates appear at
+        // moderate loss because of subscription changes.
+        let code = code();
+        let session = LayeredSession::new(4, code.n(), 8, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let r = session.simulate_receiver(&code, 3.0, 0.10, &mut rng);
+        assert!(r.complete);
+        assert!(r.distinctness_efficiency() <= 1.0);
+        assert!(r.reception_efficiency() > 0.3);
+    }
+}

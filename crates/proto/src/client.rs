@@ -1,0 +1,239 @@
+//! The prototype client: rebuild the code from the control information,
+//! collect data packets from however many layers the receiver is subscribed
+//! to, and reconstruct the file with the *statistical* decode strategy chosen
+//! in Section 7.2 — wait until roughly `(1 + ε)k` packets have arrived, try to
+//! decode, and go back to collecting if that was not yet enough.
+
+use crate::server::ControlInfo;
+use crate::wire::DataPacket;
+use bytes::Bytes;
+use df_core::{reassemble_file, AddOutcome, PayloadDecoder, TornadoCode, TORNADO_A, TORNADO_B};
+use serde::Serialize;
+
+/// Reception statistics for one download, mirroring Section 7.3's efficiency
+/// definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+pub struct DownloadStats {
+    /// Packets received (after network loss), including duplicates.
+    pub received: usize,
+    /// Distinct encoding packets received.
+    pub distinct: usize,
+    /// Number of source packets in the file.
+    pub k: usize,
+    /// Number of decode attempts the statistical strategy made.
+    pub decode_attempts: usize,
+}
+
+impl DownloadStats {
+    /// Reception efficiency `η = k / received`.
+    pub fn reception_efficiency(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.k as f64 / self.received as f64
+        }
+    }
+
+    /// Coding efficiency `η_c = k / distinct`.
+    pub fn coding_efficiency(&self) -> f64 {
+        if self.distinct == 0 {
+            0.0
+        } else {
+            self.k as f64 / self.distinct as f64
+        }
+    }
+
+    /// Distinctness efficiency `η_d = distinct / received`.
+    pub fn distinctness_efficiency(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.received as f64
+        }
+    }
+}
+
+/// A downloading client for one session.
+#[derive(Debug)]
+pub struct Client {
+    control: ControlInfo,
+    code: TornadoCode,
+    buffered: Vec<(usize, Vec<u8>)>,
+    seen: Vec<bool>,
+    stats: DownloadStats,
+    /// Overhead margin the statistical strategy waits for before its first
+    /// decode attempt.
+    attempt_margin: f64,
+    file: Option<Vec<u8>>,
+}
+
+impl Client {
+    /// Join a session described by `control` (obtained from the server's
+    /// control channel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-construction errors (e.g. nonsensical control data).
+    pub fn new(control: ControlInfo) -> df_core::Result<Self> {
+        let profile = if control.profile == "tornado-b" {
+            TORNADO_B
+        } else {
+            TORNADO_A
+        };
+        let code = TornadoCode::with_profile(control.k, profile, control.code_seed)?;
+        let seen = vec![false; code.n()];
+        Ok(Client {
+            stats: DownloadStats {
+                k: control.k,
+                ..DownloadStats::default()
+            },
+            control,
+            code,
+            buffered: Vec::new(),
+            seen,
+            attempt_margin: 0.06,
+            file: None,
+        })
+    }
+
+    /// The session parameters this client joined with.
+    pub fn control_info(&self) -> &ControlInfo {
+        &self.control
+    }
+
+    /// Reception statistics so far.
+    pub fn stats(&self) -> &DownloadStats {
+        &self.stats
+    }
+
+    /// The reconstructed file, once the download has completed.
+    pub fn file(&self) -> Option<&[u8]> {
+        self.file.as_deref()
+    }
+
+    /// True once the file has been reconstructed.
+    pub fn is_complete(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// Feed one received datagram to the client.  Returns `true` once the
+    /// file has been fully reconstructed.
+    pub fn handle_datagram(&mut self, datagram: Bytes) -> bool {
+        if self.file.is_some() {
+            return true;
+        }
+        let Some(pkt) = DataPacket::from_bytes(datagram) else {
+            return false;
+        };
+        let idx = pkt.header.packet_index as usize;
+        if idx >= self.code.n() || pkt.payload.len() != self.control.packet_size {
+            // Corrupted or foreign packet; the channel is best-effort, drop it.
+            return false;
+        }
+        self.stats.received += 1;
+        if !self.seen[idx] {
+            self.seen[idx] = true;
+            self.stats.distinct += 1;
+            self.buffered.push((idx, pkt.payload.to_vec()));
+        }
+        // Statistical strategy: only attempt a decode once enough distinct
+        // packets have accumulated; after a failed attempt, wait for another
+        // 2 % of k before trying again.
+        let threshold =
+            (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
+        if self.stats.distinct >= threshold {
+            self.stats.decode_attempts += 1;
+            let mut decoder: PayloadDecoder<'_> = self.code.decoder();
+            let mut complete = false;
+            for (i, payload) in &self.buffered {
+                match decoder.add_packet(*i, payload.clone()) {
+                    Ok(AddOutcome::Complete) => {
+                        complete = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(_) => return false,
+                }
+            }
+            if complete {
+                let source = decoder.source().expect("decoder reported completion");
+                self.file = Some(reassemble_file(&source, self.control.file_len));
+                return true;
+            }
+            self.attempt_margin += 0.02;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::transport::{SimMulticast, Transport};
+
+    fn run_download(loss: f64, layers: usize, data_len: usize) -> (Client, Vec<u8>) {
+        let data: Vec<u8> = (0..data_len).map(|i| (i * 131 % 251) as u8).collect();
+        let mut server = Server::with_defaults(&data, layers, 7).unwrap();
+        let mut net = SimMulticast::new(11);
+        let rx = net.add_receiver(loss);
+        for layer in 0..layers as u32 {
+            rx.subscribe(layer);
+        }
+        let mut client = Client::new(server.control_info().clone()).unwrap();
+        'outer: for _ in 0..10_000 {
+            server.send_round(&mut net);
+            while let Some((_group, datagram)) = rx.recv() {
+                if client.handle_datagram(datagram) {
+                    break 'outer;
+                }
+            }
+        }
+        (client, data)
+    }
+
+    #[test]
+    fn lossless_download_reconstructs_the_file() {
+        let (client, data) = run_download(0.0, 4, 60_000);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        let stats = client.stats();
+        assert!(stats.distinctness_efficiency() > 0.99);
+        assert!(stats.decode_attempts >= 1);
+    }
+
+    #[test]
+    fn lossy_download_still_reconstructs() {
+        let (client, data) = run_download(0.3, 4, 40_000);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        assert!(client.stats().reception_efficiency() > 0.4);
+    }
+
+    #[test]
+    fn corrupted_and_foreign_datagrams_are_ignored() {
+        let data = vec![9u8; 20_000];
+        let server = Server::with_defaults(&data, 1, 3).unwrap();
+        let mut client = Client::new(server.control_info().clone()).unwrap();
+        assert!(!client.handle_datagram(Bytes::from_static(b"short")));
+        // Well-formed header but index out of range.
+        let bogus = DataPacket::new(
+            crate::wire::PacketHeader {
+                packet_index: 1_000_000,
+                serial: 0,
+                group: 0,
+            },
+            Bytes::from(vec![0u8; 500]),
+        );
+        assert!(!client.handle_datagram(bogus.to_bytes()));
+        assert_eq!(client.stats().received, 0);
+    }
+
+    #[test]
+    fn download_stats_relation_holds() {
+        let (client, _) = run_download(0.1, 1, 30_000);
+        let s = client.stats();
+        let eta = s.reception_efficiency();
+        assert!((eta - s.coding_efficiency() * s.distinctness_efficiency()).abs() < 1e-12);
+    }
+}

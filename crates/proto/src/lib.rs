@@ -1,0 +1,31 @@
+//! # df-proto — the prototype bulk-data distribution protocol (Section 7)
+//!
+//! The paper's experimental system has a server that encodes a file with
+//! Tornado A, announces the session parameters over a unicast UDP control
+//! channel, and then carousels the encoding over one or more multicast
+//! groups; clients fetch the control information, subscribe, collect packets
+//! through whatever loss their path imposes, and run the *statistical* decode
+//! strategy (gather ≈ (1+ε)k packets, try to decode, fetch more on failure).
+//!
+//! This crate reproduces that system over a pluggable [`transport::Transport`]:
+//! [`transport::SimMulticast`] is a deterministic in-memory lossy multicast
+//! used by the tests, the benchmarks and the Figure 8 reproduction, and the
+//! same server/client code can be pointed at real UDP sockets (see the
+//! `udp_fountain` example at the workspace root).
+//!
+//! The 12-byte packet header (packet index, serial number, group number) and
+//! the 500-byte default payload match Section 7.3's description of the
+//! prototype exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, DownloadStats};
+pub use server::{ControlInfo, Server};
+pub use transport::{SimMulticast, Transport};
+pub use wire::{DataPacket, PacketHeader, HEADER_LEN};

@@ -1,0 +1,209 @@
+//! Pluggable multicast transports for the prototype.
+//!
+//! The paper's prototype runs over IP multicast between Berkeley, CMU and
+//! Cornell; we do not have that testbed, so the default transport is
+//! [`SimMulticast`], an in-memory best-effort multicast channel with
+//! per-receiver loss (the substitution is documented in DESIGN.md).  The
+//! server and client only speak through the [`Transport`] trait, so the same
+//! code drives real UDP sockets in the `udp_fountain` example.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A best-effort multicast sender: datagrams are addressed to a group and
+/// delivered (or not) to every subscribed receiver.
+pub trait Transport {
+    /// Send one datagram to `group`.
+    fn send(&mut self, group: u32, datagram: Bytes);
+}
+
+/// One receiver's endpoint on a [`SimMulticast`] channel.
+#[derive(Debug)]
+pub struct SimReceiverHandle {
+    inner: Arc<Mutex<SimInner>>,
+    receiver: usize,
+}
+
+#[derive(Debug)]
+struct ReceiverState {
+    /// Loss probability applied to every datagram for this receiver.
+    loss: f64,
+    /// Groups this receiver is subscribed to.
+    groups: Vec<u32>,
+    /// Delivered datagrams waiting to be read.
+    queue: VecDeque<(u32, Bytes)>,
+}
+
+#[derive(Debug)]
+struct SimInner {
+    receivers: Vec<ReceiverState>,
+    rng: StdRng,
+    sent: u64,
+    delivered: u64,
+}
+
+/// A deterministic in-memory lossy multicast channel.
+///
+/// Every datagram sent to a group is independently delivered to each
+/// subscribed receiver with probability `1 − loss(receiver)` — the same
+/// best-effort semantics as IP multicast over a lossy path.
+#[derive(Debug, Clone)]
+pub struct SimMulticast {
+    inner: Arc<Mutex<SimInner>>,
+}
+
+impl SimMulticast {
+    /// Create a channel seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        SimMulticast {
+            inner: Arc::new(Mutex::new(SimInner {
+                receivers: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                sent: 0,
+                delivered: 0,
+            })),
+        }
+    }
+
+    /// Attach a receiver with the given independent loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not in `[0, 1)`.
+    pub fn add_receiver(&self, loss: f64) -> SimReceiverHandle {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        let mut inner = self.inner.lock();
+        inner.receivers.push(ReceiverState {
+            loss,
+            groups: Vec::new(),
+            queue: VecDeque::new(),
+        });
+        SimReceiverHandle {
+            inner: self.inner.clone(),
+            receiver: inner.receivers.len() - 1,
+        }
+    }
+
+    /// Total datagrams sent on the channel.
+    pub fn sent(&self) -> u64 {
+        self.inner.lock().sent
+    }
+
+    /// Total datagram deliveries across all receivers.
+    pub fn delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+}
+
+impl Transport for SimMulticast {
+    fn send(&mut self, group: u32, datagram: Bytes) {
+        let mut inner = self.inner.lock();
+        inner.sent += 1;
+        let mut deliveries = Vec::new();
+        for (i, r) in inner.receivers.iter().enumerate() {
+            if !r.groups.contains(&group) {
+                continue;
+            }
+            deliveries.push((i, r.loss));
+        }
+        for (i, loss) in deliveries {
+            if inner.rng.gen::<f64>() < loss {
+                continue;
+            }
+            inner.receivers[i].queue.push_back((group, datagram.clone()));
+            inner.delivered += 1;
+        }
+    }
+}
+
+impl SimReceiverHandle {
+    /// Subscribe to a multicast group (a cumulative layered receiver calls
+    /// this once per layer it joins).
+    pub fn subscribe(&self, group: u32) {
+        let mut inner = self.inner.lock();
+        let groups = &mut inner.receivers[self.receiver].groups;
+        if !groups.contains(&group) {
+            groups.push(group);
+        }
+    }
+
+    /// Leave a multicast group.
+    pub fn unsubscribe(&self, group: u32) {
+        let mut inner = self.inner.lock();
+        inner.receivers[self.receiver].groups.retain(|&g| g != group);
+    }
+
+    /// Pop the next delivered datagram, if any.
+    pub fn recv(&self) -> Option<(u32, Bytes)> {
+        self.inner.lock().receivers[self.receiver].queue.pop_front()
+    }
+
+    /// Number of datagrams waiting.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().receivers[self.receiver].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_subscription() {
+        let mut net = SimMulticast::new(1);
+        let rx = net.add_receiver(0.0);
+        net.send(0, Bytes::from_static(b"before subscribe"));
+        assert_eq!(rx.pending(), 0);
+        rx.subscribe(0);
+        net.send(0, Bytes::from_static(b"hello"));
+        net.send(1, Bytes::from_static(b"other group"));
+        assert_eq!(rx.pending(), 1);
+        let (group, data) = rx.recv().unwrap();
+        assert_eq!(group, 0);
+        assert_eq!(&data[..], b"hello");
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut net = SimMulticast::new(2);
+        let rx = net.add_receiver(0.0);
+        rx.subscribe(3);
+        net.send(3, Bytes::from_static(b"a"));
+        rx.unsubscribe(3);
+        net.send(3, Bytes::from_static(b"b"));
+        assert_eq!(rx.pending(), 1);
+    }
+
+    #[test]
+    fn loss_rate_is_respected_statistically() {
+        let mut net = SimMulticast::new(3);
+        let rx = net.add_receiver(0.3);
+        rx.subscribe(0);
+        for _ in 0..10_000 {
+            net.send(0, Bytes::from_static(b"x"));
+        }
+        let delivered = rx.pending() as f64;
+        let rate = 1.0 - delivered / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "measured loss {rate}");
+        assert_eq!(net.sent(), 10_000);
+    }
+
+    #[test]
+    fn independent_loss_across_receivers() {
+        let mut net = SimMulticast::new(4);
+        let a = net.add_receiver(0.0);
+        let b = net.add_receiver(0.5);
+        a.subscribe(0);
+        b.subscribe(0);
+        for _ in 0..2_000 {
+            net.send(0, Bytes::from_static(b"y"));
+        }
+        assert_eq!(a.pending(), 2_000);
+        assert!(b.pending() < 1_400 && b.pending() > 600);
+    }
+}

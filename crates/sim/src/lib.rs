@@ -1,0 +1,36 @@
+//! # df-sim — loss models, the interleaved baseline and the paper's simulation study
+//!
+//! This crate reproduces the simulation apparatus of Section 6 of Byers,
+//! Luby, Mitzenmacher & Rege (SIGCOMM '98):
+//!
+//! * [`loss`] — packet-loss models: independent (Bernoulli) loss, bursty
+//!   Gilbert–Elliott loss, and synthetic MBone-like receiver traces standing
+//!   in for the Yajnik/Kurose/Towsley traces used in Section 6.4 (the
+//!   originals are not publicly archived; see DESIGN.md for the substitution).
+//! * [`interleaved`] — the interleaved Reed–Solomon scheme of
+//!   Nonnenmacher/Rizzo/Vicisano et al. that the paper compares against:
+//!   split the file into blocks of `k` packets, stretch each block with an MDS
+//!   code, and transmit one packet per block per round.
+//! * [`receiver`] — carousel receivers: simulate a client joining the
+//!   multicast at an arbitrary time, losing packets according to a loss model,
+//!   and listening until its decoder (Tornado or interleaved) completes.
+//! * [`experiment`] — the experiment drivers that regenerate Table 4 and
+//!   Figures 4, 5 and 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod interleaved;
+pub mod loss;
+pub mod receiver;
+pub mod trace;
+
+pub use experiment::{
+    file_size_experiment, receiver_scaling_experiment, speedup_table, trace_experiment,
+    EfficiencyPoint, SpeedupRow,
+};
+pub use interleaved::InterleavedCode;
+pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
+pub use receiver::{simulate_interleaved_receiver, simulate_tornado_receiver, ReceiverOutcome};
+pub use trace::{ReceiverTrace, TraceSet};

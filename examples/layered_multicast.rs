@@ -1,0 +1,52 @@
+//! Layered multicast distribution (Section 7 of the paper): the server
+//! carousels a Tornado-encoded movie clip over four multicast layers with
+//! geometrically increasing rates; heterogeneous receivers subscribe to as
+//! many layers as their bottleneck allows, adapting at synchronisation points
+//! with no feedback to the source.
+//!
+//! Run with: `cargo run --release --example layered_multicast`
+
+use digital_fountain::core::TornadoCode;
+use digital_fountain::mcast::LayeredSession;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // The paper's test object: a movie clip slightly over 2 MB, 500-byte
+    // packets, encoded with Tornado A at stretch factor 2 over 4 layers.
+    let k = 2 * 1024 * 1024 / 500;
+    let code = TornadoCode::new_a(k, 1998).expect("valid parameters");
+    let session = LayeredSession::new(4, code.n(), 16, 2);
+    println!(
+        "clip: {} source packets, {} encoding packets, {} layers",
+        code.k(),
+        code.n(),
+        session.schedule().layers()
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    println!(
+        "{:<32} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "receiver", "level", "eta_d", "eta_c", "eta", "rounds"
+    );
+    for (label, bottleneck, extra_loss) in [
+        ("campus LAN (wide bottleneck)", 16.0, 0.00),
+        ("DSL (mid bottleneck)", 4.0, 0.02),
+        ("modem (base layer only)", 1.0, 0.02),
+        ("congested transit (10% loss)", 8.0, 0.10),
+        ("lossy wireless (30% loss)", 8.0, 0.30),
+    ] {
+        let r = session.simulate_receiver(&code, bottleneck, extra_loss, &mut rng);
+        assert!(r.complete, "{label} did not finish");
+        println!(
+            "{:<32} {:>6} {:>8.3} {:>8.3} {:>8.3} {:>8}",
+            label,
+            r.final_level,
+            r.distinctness_efficiency(),
+            r.coding_efficiency(),
+            r.reception_efficiency(),
+            r.rounds
+        );
+    }
+    println!("receivers never sent a single packet upstream: congestion control is receiver-driven");
+}

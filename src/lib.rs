@@ -1,0 +1,29 @@
+//! # digital-fountain
+//!
+//! An umbrella crate re-exporting the whole reproduction of *"A Digital
+//! Fountain Approach to Reliable Distribution of Bulk Data"* (Byers, Luby,
+//! Mitzenmacher, Rege — SIGCOMM 1998):
+//!
+//! * [`core`] (`df-core`) — Tornado codes and the digital-fountain / carousel
+//!   abstraction (the paper's primary contribution).
+//! * [`rs`] (`df-rs`) and [`gf`] (`df-gf`) — the Reed–Solomon baselines and
+//!   their Galois-field substrate.
+//! * [`sim`] (`df-sim`) — loss models, synthetic MBone-like traces, the
+//!   interleaved baseline and the reception-efficiency experiments.
+//! * [`mcast`] (`df-mcast`) — layered multicast scheduling (One Level
+//!   Property) and receiver-driven congestion control.
+//! * [`proto`] (`df-proto`) — the prototype bulk-data distribution protocol.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `df-bench` crate's `repro` binary for regenerating every table and figure
+//! of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use df_core as core;
+pub use df_gf as gf;
+pub use df_mcast as mcast;
+pub use df_proto as proto;
+pub use df_rs as rs;
+pub use df_sim as sim;
