@@ -8,6 +8,10 @@
 //!
 //! where `<experiment>` is one of `table1`, `table2`, `table3`, `table4`,
 //! `table5`, `figure2`, `figure4`, `figure5`, `figure6`, `figure8`, or `all`.
+//! The additional `bench-json` mode (with optional `--pr=N` and `--out=PATH`,
+//! defaulting to `--pr=1` and `BENCH_pr<N>.json`) emits a machine-readable
+//! encode/decode-throughput report for the four Table 2/3 codes, used to
+//! track performance across PRs.
 //! By default the harness runs *scaled-down* parameter sets (smaller maximum
 //! file sizes and fewer trials) so that `all` completes in a few minutes;
 //! pass `--full` for the paper's full sizes and trial counts (hours for the
@@ -16,8 +20,7 @@
 //! experiment.
 
 use df_bench::{
-    fmt_seconds, measure_cauchy, measure_cauchy_block_decode, measure_tornado,
-    measure_vandermonde,
+    fmt_seconds, measure_cauchy, measure_cauchy_block_decode, measure_tornado, measure_vandermonde,
 };
 use df_core::{OverheadStats, TornadoCode, TORNADO_A, TORNADO_B};
 use df_mcast::{simulate_single_layer_receiver, LayeredSession, TransmissionSchedule};
@@ -182,11 +185,13 @@ fn coding_tables(cfg: &Config) {
         println!(
             "{:<10} {:>14} {:>14} {:>14} {:>14} | {:>14} {:>14} {:>14} {:>14}",
             size_label,
-            vand.map(|v| fmt_seconds(v.encode_s)).unwrap_or_else(|| "n/a".into()),
+            vand.map(|v| fmt_seconds(v.encode_s))
+                .unwrap_or_else(|| "n/a".into()),
             fmt_seconds(cauchy.encode_s),
             fmt_seconds(ta.encode_s),
             fmt_seconds(tb.encode_s),
-            vand.map(|v| fmt_seconds(v.decode_s)).unwrap_or_else(|| "n/a".into()),
+            vand.map(|v| fmt_seconds(v.decode_s))
+                .unwrap_or_else(|| "n/a".into()),
             fmt_seconds(cauchy.decode_s),
             fmt_seconds(ta.decode_s),
             fmt_seconds(tb.decode_s),
@@ -195,7 +200,10 @@ fn coding_tables(cfg: &Config) {
 }
 
 fn figure2(cfg: &Config) {
-    println!("== Figure 2: reception overhead variation ({} trials) ==", cfg.figure2_trials());
+    println!(
+        "== Figure 2: reception overhead variation ({} trials) ==",
+        cfg.figure2_trials()
+    );
     for (name, profile) in [("Tornado A", TORNADO_A), ("Tornado B", TORNADO_B)] {
         let code = TornadoCode::with_profile(cfg.figure2_k(), profile, 0xf16).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
@@ -271,9 +279,14 @@ fn table4(cfg: &Config) {
 }
 
 fn table5() {
-    println!("== Table 5 / Figure 7: reverse-binary transmission schedule, 4 layers, 8-packet block ==");
+    println!(
+        "== Table 5 / Figure 7: reverse-binary transmission schedule, 4 layers, 8-packet block =="
+    );
     let s = TransmissionSchedule::new(4, 8);
-    println!("{:<8} {:<10} {}", "Layer", "Bandwidth", "packets sent in rounds 1..8");
+    println!(
+        "{:<8} {:<10} packets sent in rounds 1..8",
+        "Layer", "Bandwidth"
+    );
     for layer in (0..4).rev() {
         let rounds: Vec<String> = (0..8)
             .map(|r| {
@@ -354,7 +367,10 @@ fn figure6(cfg: &Config) {
         cfg.figure6_receivers()
     );
     let traces = TraceSet::synthetic(cfg.figure6_receivers(), 200_000, 0.18, 0xf6);
-    println!("generated trace set: mean loss rate {:.3}", traces.mean_loss_rate());
+    println!(
+        "generated trace set: mean loss rate {:.3}",
+        traces.mean_loss_rate()
+    );
     let sizes = cfg.figure5_sizes();
     let schemes = vec![
         Scheme::Tornado(TORNADO_A),
@@ -364,7 +380,10 @@ fn figure6(cfg: &Config) {
     let points = trace_experiment(&sizes, PACKET_KB, &traces, &schemes, 0xf6);
     println!("{:<20} {:>12} {:>12}", "scheme", "file KB", "avg eff");
     for pt in points {
-        println!("{:<20} {:>12} {:>12.3}", pt.scheme, pt.x as usize, pt.avg_efficiency);
+        println!(
+            "{:<20} {:>12} {:>12.3}",
+            pt.scheme, pt.x as usize, pt.avg_efficiency
+        );
     }
 }
 
@@ -390,7 +409,10 @@ fn figure8(cfg: &Config) {
         );
     }
     println!("-- 4 layers with SP/burst congestion control --");
-    println!("{:>14} {:>8} {:>8} {:>8} {:>8}", "extra loss %", "eta_d", "eta_c", "eta", "level");
+    println!(
+        "{:>14} {:>8} {:>8} {:>8} {:>8}",
+        "extra loss %", "eta_d", "eta_c", "eta", "level"
+    );
     // Frequent SPs relative to the download length so the receiver actually
     // changes subscription levels during the transfer (the effect Figure 8's
     // multilayer panel is about).
@@ -423,6 +445,28 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
     let run = |name: &str| what == name || what == "all";
+    if what == "bench-json" {
+        // Machine-readable perf trajectory: encode/decode MB/s for all four
+        // codes at the 1 MB / 1 KB-packet operating point of Table 2 — the
+        // smallest size at which Tornado A has a real cascade (at 250 KB it
+        // degenerates to a single Reed–Solomon block) while every code still
+        // finishes in seconds.
+        let pr: u32 = args
+            .iter()
+            .find(|a| a.starts_with("--pr="))
+            .map(|a| a["--pr=".len()..].parse().expect("--pr must be a number"))
+            .unwrap_or(1);
+        let path = args
+            .iter()
+            .find(|a| a.starts_with("--out="))
+            .map(|a| a["--out=".len()..].to_string())
+            .unwrap_or_else(|| format!("BENCH_pr{pr}.json"));
+        let report = df_bench::bench_json_report(pr, 1000, PACKET_KB * 1024);
+        std::fs::write(&path, &report).expect("write benchmark report");
+        print!("{report}");
+        eprintln!("wrote {path}");
+        return;
+    }
     if run("table1") {
         table1();
         println!();

@@ -59,7 +59,7 @@ pub fn measure_tornado(profile: TornadoProfile, k: usize, packet_size: usize) ->
     let t0 = Instant::now();
     let mut decoder = code.decoder();
     for &i in &order {
-        if decoder.add_packet(i, encoding[i].clone()).expect("in range")
+        if decoder.add_packet_ref(i, &encoding[i]).expect("in range")
             == df_core::AddOutcome::Complete
         {
             break;
@@ -116,6 +116,76 @@ pub fn measure_cauchy_block_decode(block_k: usize, packet_size: usize) -> f64 {
     let elapsed = t0.elapsed().as_secs_f64();
     assert_eq!(out, source);
     elapsed
+}
+
+/// One code's end-to-end throughput measurement for the machine-readable
+/// benchmark report.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Code name ("tornado_a", "tornado_b", "cauchy", "vandermonde").
+    pub code: &'static str,
+    /// Measured wall-clock times.
+    pub times: CodingTimes,
+    /// Encode throughput in MB/s of source data.
+    pub encode_mbps: f64,
+    /// Decode throughput in MB/s of source data (decode time includes the
+    /// reception-overhead work for Tornado codes, as a real receiver pays it).
+    pub decode_mbps: f64,
+}
+
+/// Measure all four codes of Tables 2/3 at one operating point and return the
+/// rows of the machine-readable report.
+pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
+    let file_mb = (k * packet_size) as f64 / 1e6;
+    let row = |code: &'static str, times: CodingTimes| ThroughputRow {
+        code,
+        times,
+        encode_mbps: file_mb / times.encode_s,
+        decode_mbps: file_mb / times.decode_s,
+    };
+    vec![
+        row(
+            "tornado_a",
+            measure_tornado(df_core::TORNADO_A, k, packet_size),
+        ),
+        row(
+            "tornado_b",
+            measure_tornado(df_core::TORNADO_B, k, packet_size),
+        ),
+        row("cauchy", measure_cauchy(k, packet_size)),
+        row("vandermonde", measure_vandermonde(k, packet_size)),
+    ]
+}
+
+/// Render the machine-readable benchmark report (`BENCH_pr<N>.json`) that
+/// tracks the repo's performance trajectory across PRs.
+///
+/// The JSON is assembled by hand — the schema is five keys deep and stable,
+/// and keeping df-bench serializer-free keeps the bench dependency graph
+/// minimal.
+pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
+    let rows = measure_all_codes(k, packet_size);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str(&format!("  \"operating_point\": {{\"k\": {k}, \"packet_bytes\": {packet_size}, \"file_kb\": {}}},\n", k * packet_size / 1000));
+    out.push_str(&format!(
+        "  \"gf8_kernel\": \"{}\",\n",
+        df_gf::kernels::active_kernel()
+    ));
+    out.push_str("  \"codes\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"encode_s\": {:.6}, \"decode_s\": {:.6}, \"encode_mbps\": {:.2}, \"decode_mbps\": {:.2}}}{}\n",
+            r.code,
+            r.times.encode_s,
+            r.times.decode_s,
+            r.encode_mbps,
+            r.decode_mbps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// Format seconds the way the paper's tables do.

@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release -p df-core --example calibrate [k] [trials]`
 
 use df_core::{
-    CheckSide, DegreeDistribution, OverheadStats, TornadoCode, TornadoProfile, TORNADO_A,
-    TORNADO_B,
+    CheckSide, DegreeDistribution, OverheadStats, TornadoCode, TornadoProfile, TORNADO_A, TORNADO_B,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -33,7 +32,10 @@ fn main() {
         ("tornado-b (current)".to_string(), TORNADO_B),
     ];
     for d in [20usize, 30, 60, 100] {
-        for (side, side_name) in [(CheckSide::Poisson, "poisson"), (CheckSide::Regular, "regular")] {
+        for (side, side_name) in [
+            (CheckSide::Poisson, "poisson"),
+            (CheckSide::Regular, "regular"),
+        ] {
             candidates.push((
                 format!("heavy-tail D={d} / {side_name}"),
                 TornadoProfile {

@@ -56,16 +56,18 @@ pub enum FinalCode {
 impl FinalCode {
     pub(crate) fn build(k: usize, n: usize) -> Result<Self> {
         if n <= 256 {
-            Ok(FinalCode::Small(CauchyCode::new(k, n).map_err(
-                |e| TornadoError::FinalLevelCode(e.to_string()),
-            )?))
+            Ok(FinalCode::Small(CauchyCode::new(k, n).map_err(|e| {
+                TornadoError::FinalLevelCode(e.to_string())
+            })?))
         } else if n <= 65_536 {
             Ok(FinalCode::Large(CauchyCode::new_large(k, n).map_err(
                 |e| TornadoError::FinalLevelCode(e.to_string()),
             )?))
         } else {
             Err(TornadoError::InvalidParameters {
-                reason: format!("final Reed-Solomon block of {n} packets exceeds GF(2^16) capacity"),
+                reason: format!(
+                    "final Reed-Solomon block of {n} packets exceeds GF(2^16) capacity"
+                ),
             })
         }
     }
@@ -88,12 +90,14 @@ impl FinalCode {
     }
 
     /// Encode the last cascade level, returning only the check packets.
+    ///
+    /// The systematic prefix is split off (buffers moved, not copied).
     pub fn encode_checks(&self, level: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
-        let full = match self {
+        let mut full = match self {
             FinalCode::Small(c) => c.encode(level)?,
             FinalCode::Large(c) => c.encode(level)?,
         };
-        Ok(full[self.k()..].to_vec())
+        Ok(full.split_off(self.k()))
     }
 
     /// Recover the full last level from any `k` of its `n` packets.
@@ -104,6 +108,15 @@ impl FinalCode {
         Ok(match self {
             FinalCode::Small(c) => c.decode(received)?,
             FinalCode::Large(c) => c.decode(received)?,
+        })
+    }
+
+    /// Borrowing variant of [`FinalCode::decode`]: payloads are copied at most
+    /// once, into their decoded positions.
+    pub fn decode_ref(&self, received: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>> {
+        Ok(match self {
+            FinalCode::Small(c) => c.decode_ref(received)?,
+            FinalCode::Large(c) => c.decode_ref(received)?,
         })
     }
 }
@@ -337,7 +350,10 @@ mod tests {
     fn level_sizes_shrink_geometrically() {
         let c = Cascade::build(10_000, TORNADO_A, 2).unwrap();
         let sizes = c.level_sizes();
-        assert!(sizes.len() >= 3, "a 10k-packet file should cascade, got {sizes:?}");
+        assert!(
+            sizes.len() >= 3,
+            "a 10k-packet file should cascade, got {sizes:?}"
+        );
         for w in sizes.windows(2) {
             let ratio = w[1] as f64 / w[0] as f64;
             assert!((ratio - 0.5).abs() < 0.01, "levels {w:?} not halving");

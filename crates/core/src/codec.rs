@@ -129,7 +129,8 @@ impl TornadoCode {
     pub fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>> {
         let mut decoder = self.decoder();
         for (idx, payload) in received {
-            decoder.add_packet(*idx, payload.clone())?;
+            // By reference: only packets that advance decoding are cloned.
+            decoder.add_packet_ref(*idx, payload)?;
         }
         match decoder.source() {
             Some(src) => Ok(src),

@@ -139,6 +139,33 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
     /// Returns [`TornadoError::MalformedInput`] for an out-of-range index and
     /// propagates final-code errors.
     pub fn add_packet(&mut self, index: usize, value: S) -> Result<AddOutcome> {
+        if self.register(index)? {
+            return Ok(AddOutcome::Duplicate);
+        }
+        self.accept_new(index, value)
+    }
+
+    /// Feed one encoding packet by reference, cloning the payload only if the
+    /// packet is new.
+    ///
+    /// This is the right entry point when the caller keeps ownership of the
+    /// encoding (a carousel buffer, a benchmark's reference copy): duplicates
+    /// — the common case late in a lossy download — cost no allocation at
+    /// all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PeelingDecoder::add_packet`].
+    pub fn add_packet_ref(&mut self, index: usize, value: &S) -> Result<AddOutcome> {
+        if self.register(index)? {
+            return Ok(AddOutcome::Duplicate);
+        }
+        self.accept_new(index, value.clone())
+    }
+
+    /// Validate `index`, count the reception, and report whether the packet
+    /// is a duplicate.
+    fn register(&mut self, index: usize) -> Result<bool> {
         if index >= self.cascade.n() {
             return Err(TornadoError::MalformedInput {
                 reason: format!(
@@ -148,9 +175,11 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
             });
         }
         self.received_total += 1;
-        if self.values[index].is_some() {
-            return Ok(AddOutcome::Duplicate);
-        }
+        Ok(self.values[index].is_some())
+    }
+
+    /// Take ownership of a new packet's value and run peeling.
+    fn accept_new(&mut self, index: usize, value: S) -> Result<AddOutcome> {
         self.received_distinct += 1;
         self.propagate(index, value)?;
         if self.is_complete() {
@@ -182,7 +211,11 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
         }
         Some(
             (0..self.cascade.k())
-                .map(|i| self.values[i].clone().expect("complete decoder knows all source packets"))
+                .map(|i| {
+                    self.values[i]
+                        .clone()
+                        .expect("complete decoder knows all source packets")
+                })
                 .collect(),
         )
     }
@@ -245,22 +278,28 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
         worklist: &mut Vec<(usize, S)>,
     ) {
         let graph = &self.cascade.graphs()[level];
-        let value = self.values[g].clone().expect("value was just set");
         let check_offset = self.cascade.level_offset(level + 1);
         for &c in graph.left_neighbors(pos) {
             let check_global = check_offset + c as usize;
             let ci = check_global - self.check_base;
             self.unknown_left[ci] -= 1;
+            // Borrow the value out of the store per neighbour (disjoint
+            // fields, so no clone); it is only cloned to seed a check node's
+            // first accumulator, which must own its running XOR.
+            let value = self.values[g].as_ref().expect("value was just set");
             match &mut self.acc[ci] {
-                Some(acc) => acc.xor(&value),
+                Some(acc) => acc.xor(value),
                 None => self.acc[ci] = Some(value.clone()),
             }
             if self.unknown_left[ci] == 0 {
                 // Every neighbour known: the check packet itself can be
                 // recomputed if it has not arrived (useful both for upward
-                // recovery and for feeding the final MDS block).
+                // recovery and for feeding the final MDS block).  The
+                // accumulator has served its purpose, so move it out instead
+                // of cloning — `unknown_left` never increments, making this
+                // branch unreachable twice for the same check node.
                 if self.values[check_global].is_none() {
-                    if let Some(acc) = self.acc[ci].clone() {
+                    if let Some(acc) = self.acc[ci].take() {
                         worklist.push((check_global, acc));
                     }
                 }
@@ -313,15 +352,18 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
         let rs_offset = self.cascade.rs_offset();
         let rs_checks = self.cascade.rs_checks();
 
-        let mut received = Vec::with_capacity(self.rs_block_known);
+        // Borrow the known packets straight out of the value store: recovery
+        // attempts (which can fire repeatedly near the completion threshold)
+        // never clone payloads.
+        let mut received: Vec<(usize, &S)> = Vec::with_capacity(self.rs_block_known);
         for i in 0..level_size {
             if let Some(v) = &self.values[level_offset + i] {
-                received.push((i, v.clone()));
+                received.push((i, v));
             }
         }
         for j in 0..rs_checks {
             if let Some(v) = &self.values[rs_offset + j] {
-                received.push((level_size + j, v.clone()));
+                received.push((level_size + j, v));
             }
         }
         if let Some(level) = S::recover_final_level(self.cascade.final_code(), &received)? {
@@ -387,7 +429,9 @@ mod tests {
 
     fn random_source(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]
@@ -426,7 +470,11 @@ mod tests {
             let used = used.expect("the full encoding must always decode");
             assert_eq!(dec.source().unwrap(), src);
             // Must finish well before the whole encoding has been consumed.
-            assert!(used < cascade.n(), "needed {used} of {} packets", cascade.n());
+            assert!(
+                used < cascade.n(),
+                "needed {used} of {} packets",
+                cascade.n()
+            );
             total_overhead += used as f64 / k as f64 - 1.0;
         }
         // Individual trials fluctuate at this small k, but the average must
@@ -441,10 +489,41 @@ mod tests {
         let src = random_source(80, 16, 4);
         let enc = encode_all(&cascade, &src);
         let mut dec = PayloadDecoder::new(&cascade);
-        assert_eq!(dec.add_packet(5, enc[5].clone()).unwrap(), AddOutcome::Accepted);
-        assert_eq!(dec.add_packet(5, enc[5].clone()).unwrap(), AddOutcome::Duplicate);
+        assert_eq!(
+            dec.add_packet(5, enc[5].clone()).unwrap(),
+            AddOutcome::Accepted
+        );
+        assert_eq!(
+            dec.add_packet(5, enc[5].clone()).unwrap(),
+            AddOutcome::Duplicate
+        );
         assert_eq!(dec.received_distinct(), 1);
         assert_eq!(dec.received_total(), 2);
+    }
+
+    #[test]
+    fn add_packet_ref_matches_add_packet() {
+        let cascade = Cascade::build(300, TORNADO_A, 12).unwrap();
+        let src = random_source(300, 24, 12);
+        let enc = encode_all(&cascade, &src);
+        let mut by_value = PayloadDecoder::new(&cascade);
+        let mut by_ref = PayloadDecoder::new(&cascade);
+        for (i, p) in enc.iter().enumerate().rev() {
+            let a = by_value.add_packet(i, p.clone()).unwrap();
+            let b = by_ref.add_packet_ref(i, p).unwrap();
+            assert_eq!(a, b, "packet {i}");
+            // Duplicates must also agree (and stay allocation-free by ref).
+            assert_eq!(
+                by_value.add_packet(i, p.clone()).unwrap(),
+                by_ref.add_packet_ref(i, p).unwrap()
+            );
+            if a == AddOutcome::Complete {
+                break;
+            }
+        }
+        assert_eq!(by_value.is_complete(), by_ref.is_complete());
+        assert_eq!(by_value.source(), by_ref.source());
+        assert_eq!(by_value.received_total(), by_ref.received_total());
     }
 
     #[test]
@@ -529,7 +608,9 @@ mod tests {
                 let mut rng = ChaCha8Rng::seed_from_u64(1000 + t);
                 order.shuffle(&mut rng);
                 let mut dec = SymbolicDecoder::new(&cascade);
-                let used = dec.run_until_complete(order).expect("full encoding decodes");
+                let used = dec
+                    .run_until_complete(order)
+                    .expect("full encoding decodes");
                 let eps = used as f64 / k as f64 - 1.0;
                 total += eps;
                 worst = worst.max(eps);

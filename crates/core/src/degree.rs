@@ -173,7 +173,7 @@ impl DegreeDistribution {
         }
         let mut seq = Vec::with_capacity(count);
         for (deg, c, _) in &counts {
-            seq.extend(std::iter::repeat(*deg).take(*c));
+            seq.extend(std::iter::repeat_n(*deg, *c));
         }
         // Rounding can only ever produce exactly `count` entries here, but be
         // defensive against pathological pmfs.
@@ -265,7 +265,10 @@ mod tests {
         let alpha = 1.0 / (a as f64 - 1.0);
         let pmf = dist.pmf();
         let mean = dist.mean();
-        let edge: Vec<(usize, f64)> = pmf.iter().map(|(i, p)| (*i, *i as f64 * p / mean)).collect();
+        let edge: Vec<(usize, f64)> = pmf
+            .iter()
+            .map(|(i, p)| (*i, *i as f64 * p / mean))
+            .collect();
         assert_eq!(edge[0].0, 1);
         assert_eq!(edge[1].0, 2);
         let expect_ratio = alpha / (alpha * (1.0 - alpha) / 2.0);

@@ -54,12 +54,13 @@ pub fn encode(cascade: &Cascade, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
         encoding.extend(next_level);
     }
 
-    // Final conventional code over the last level.
+    // Final conventional code over the last level, read in place.
     let last_level = cascade.num_levels() - 1;
     let offset = cascade.level_offset(last_level);
     let size = cascade.level_sizes()[last_level];
-    let level_packets: Vec<Vec<u8>> = encoding[offset..offset + size].to_vec();
-    let checks = cascade.final_code().encode_checks(&level_packets)?;
+    let checks = cascade
+        .final_code()
+        .encode_checks(&encoding[offset..offset + size])?;
     encoding.extend(checks);
 
     debug_assert_eq!(encoding.len(), cascade.n());
@@ -77,7 +78,9 @@ mod tests {
 
     fn random_source(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        let e = TornadoError::NeedMorePackets { received: 900, k: 1000 };
+        let e = TornadoError::NeedMorePackets {
+            received: 900,
+            k: 1000,
+        };
         let msg = e.to_string();
         assert!(msg.contains("900"));
         assert!(msg.contains("1000"));

@@ -215,7 +215,10 @@ mod tests {
         let mut c = Carousel::new(50, 1);
         let first: Vec<usize> = (0..50).map(|_| c.next_index()).collect();
         let second: Vec<usize> = (0..50).map(|_| c.next_index()).collect();
-        assert_ne!(first, second, "consecutive cycles should be shuffled differently");
+        assert_ne!(
+            first, second,
+            "consecutive cycles should be shuffled differently"
+        );
     }
 
     #[test]

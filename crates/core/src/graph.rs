@@ -99,7 +99,8 @@ impl BipartiteGraph {
         let mut ring_used = vec![0usize; right];
         if right >= 3 {
             // Spread the low-degree nodes over distinct ring positions.
-            let mut positions: Vec<usize> = rand::seq::index::sample(rng, right, low.len().min(right)).into_vec();
+            let mut positions: Vec<usize> =
+                rand::seq::index::sample(rng, right, low.len().min(right)).into_vec();
             positions.sort_unstable();
             for (slot, &l) in low.iter().enumerate() {
                 let p = positions[slot % positions.len()];
@@ -114,8 +115,8 @@ impl BipartiteGraph {
         } else {
             // Degenerate tiny level: connect low-degree nodes directly.
             for &l in &low {
-                for c in 0..left_degrees[l].min(right) {
-                    check_sets[c].push(l as u32);
+                for set in check_sets.iter_mut().take(left_degrees[l].min(right)) {
+                    set.push(l as u32);
                 }
             }
         }
@@ -141,7 +142,7 @@ impl BipartiteGraph {
                 let mut right_sockets = Vec::with_capacity(rest_edges);
                 for (node, &t) in targets.iter().enumerate() {
                     let want = t.saturating_sub(ring_used[node]);
-                    right_sockets.extend(std::iter::repeat(node as u32).take(want));
+                    right_sockets.extend(std::iter::repeat_n(node as u32, want));
                 }
                 // Rounding against the ring usage can leave us short; top up
                 // round-robin so every remaining socket has a home.
@@ -152,7 +153,7 @@ impl BipartiteGraph {
                 }
                 let mut left_sockets = Vec::with_capacity(rest_edges);
                 for &l in &rest {
-                    left_sockets.extend(std::iter::repeat(l as u32).take(left_degrees[l]));
+                    left_sockets.extend(std::iter::repeat_n(l as u32, left_degrees[l]));
                 }
                 left_sockets.shuffle(rng);
                 for (i, &l) in left_sockets.iter().enumerate() {
@@ -273,7 +274,11 @@ mod tests {
             let nbrs = g.check_neighbors(c);
             let mut dedup = nbrs.to_vec();
             dedup.dedup();
-            assert_eq!(dedup.len(), nbrs.len(), "check {c} has duplicate neighbours");
+            assert_eq!(
+                dedup.len(),
+                nbrs.len(),
+                "check {c} has duplicate neighbours"
+            );
         }
     }
 

@@ -23,15 +23,20 @@ pub trait Symbol: Clone + Sized {
     /// Attempt to recover the full final cascade level from the packets of the
     /// final block received so far.
     ///
-    /// `received` holds `(local index, value)` pairs where local indices
-    /// `0..k` are last-level packets and `k..n` are the final code's check
-    /// packets.  Returns `Ok(None)` when not enough packets are present.
+    /// `received` holds `(local index, value)` pairs — values are *borrowed*
+    /// from the decoder's packet store, so payload symbols are never cloned
+    /// just to attempt recovery.  Local indices `0..k` are last-level packets
+    /// and `k..n` are the final code's check packets.  Returns `Ok(None)` when
+    /// not enough packets are present.
     ///
     /// # Errors
     ///
     /// Propagates payload-level decoding errors (e.g. odd packet lengths fed
     /// to a GF(2^16) final code).
-    fn recover_final_level(code: &FinalCode, received: &[(usize, Self)]) -> Result<Option<Vec<Self>>>;
+    fn recover_final_level(
+        code: &FinalCode,
+        received: &[(usize, &Self)],
+    ) -> Result<Option<Vec<Self>>>;
 }
 
 impl Symbol for Vec<u8> {
@@ -39,12 +44,18 @@ impl Symbol for Vec<u8> {
         xor_slice(self, other);
     }
 
-    fn recover_final_level(code: &FinalCode, received: &[(usize, Self)]) -> Result<Option<Vec<Self>>> {
+    fn recover_final_level(
+        code: &FinalCode,
+        received: &[(usize, &Self)],
+    ) -> Result<Option<Vec<Self>>> {
         if received.len() < code.k() {
             return Ok(None);
         }
-        let pairs: Vec<(usize, Vec<u8>)> = received.to_vec();
-        Ok(Some(code.decode(&pairs)?))
+        let refs: Vec<(usize, &[u8])> = received
+            .iter()
+            .map(|&(idx, payload)| (idx, payload.as_slice()))
+            .collect();
+        Ok(Some(code.decode_ref(&refs)?))
     }
 }
 
@@ -56,7 +67,10 @@ pub struct Mark;
 impl Symbol for Mark {
     fn xor(&mut self, _other: &Self) {}
 
-    fn recover_final_level(code: &FinalCode, received: &[(usize, Self)]) -> Result<Option<Vec<Self>>> {
+    fn recover_final_level(
+        code: &FinalCode,
+        received: &[(usize, &Self)],
+    ) -> Result<Option<Vec<Self>>> {
         // The final code is MDS: any k of its n packets recover the level.
         if received.len() >= code.k() {
             Ok(Some(vec![Mark; code.k()]))
@@ -80,9 +94,9 @@ mod tests {
     #[test]
     fn mark_final_level_threshold() {
         let code = FinalCode::build(10, 20).unwrap();
-        let not_enough: Vec<(usize, Mark)> = (0..9).map(|i| (i, Mark)).collect();
+        let not_enough: Vec<(usize, &Mark)> = (0..9).map(|i| (i, &Mark)).collect();
         assert_eq!(Mark::recover_final_level(&code, &not_enough).unwrap(), None);
-        let enough: Vec<(usize, Mark)> = (5..15).map(|i| (i, Mark)).collect();
+        let enough: Vec<(usize, &Mark)> = (5..15).map(|i| (i, &Mark)).collect();
         assert_eq!(
             Mark::recover_final_level(&code, &enough).unwrap(),
             Some(vec![Mark; 10])
@@ -94,14 +108,16 @@ mod tests {
         let code = FinalCode::build(4, 8).unwrap();
         let level: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 6]).collect();
         let checks = code.encode_checks(&level).unwrap();
-        // Receive two level packets and two checks.
+        // Receive two level packets and two checks, by reference.
         let received = vec![
-            (0usize, level[0].clone()),
-            (3, level[3].clone()),
-            (4, checks[0].clone()),
-            (6, checks[2].clone()),
+            (0usize, &level[0]),
+            (3, &level[3]),
+            (4, &checks[0]),
+            (6, &checks[2]),
         ];
-        let out = Vec::<u8>::recover_final_level(&code, &received).unwrap().unwrap();
+        let out = Vec::<u8>::recover_final_level(&code, &received)
+            .unwrap()
+            .unwrap();
         assert_eq!(out, level);
         // With only three packets it must hold off.
         assert_eq!(

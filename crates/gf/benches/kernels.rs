@@ -1,0 +1,80 @@
+//! Micro-benchmarks for the GF slice kernels at the paper's 1 KB packet size.
+//!
+//! The PR-1 acceptance bar is `mul_acc/auto_*` ≥ 4× the throughput of
+//! `mul_acc/scalar_reference` at 1 KiB (on pshufb-capable x86 the observed
+//! ratio is far higher).  `active_kernel()` is printed so recorded numbers
+//! identify the dispatched code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use df_gf::{kernels, Field, GF256, GF65536};
+
+const PACKET: usize = 1024;
+
+fn payload(salt: u8) -> Vec<u8> {
+    (0..PACKET)
+        .map(|i| (i as u8).wrapping_mul(37).wrapping_add(salt))
+        .collect()
+}
+
+fn gf8_mul_acc(c: &mut Criterion) {
+    println!("dispatched kernel: {}", kernels::active_kernel());
+    let src = payload(1);
+    let mut dst = payload(2);
+    let coeff = 0x8eu8;
+
+    let mut group = c.benchmark_group("mul_acc_1KiB");
+    group.sample_size(50);
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| kernels::scalar::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function("swar", |b| {
+        b.iter(|| kernels::swar::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function(&format!("auto_{}", kernels::active_kernel()), |b| {
+        b.iter(|| kernels::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function("field_entry_point", |b| {
+        b.iter(|| GF256::mul_acc_slice(GF256(coeff), &mut dst, &src))
+    });
+    group.finish();
+}
+
+fn gf8_mul(c: &mut Criterion) {
+    let mut data = payload(3);
+    let coeff = 0x53u8;
+    let mut group = c.benchmark_group("mul_1KiB");
+    group.sample_size(50);
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| kernels::scalar::mul_slice(coeff, &mut data))
+    });
+    group.bench_function(&format!("auto_{}", kernels::active_kernel()), |b| {
+        b.iter(|| kernels::mul_slice(coeff, &mut data))
+    });
+    group.finish();
+}
+
+fn xor(c: &mut Criterion) {
+    let src = payload(4);
+    let mut dst = payload(5);
+    let mut group = c.benchmark_group("xor_1KiB");
+    group.sample_size(50);
+    group.bench_function("xor_slice", |b| {
+        b.iter(|| df_gf::field::xor_slice(&mut dst, &src))
+    });
+    group.finish();
+}
+
+fn gf16_mul_acc(c: &mut Criterion) {
+    let src = payload(6);
+    let mut dst = payload(7);
+    let coeff = GF65536(0x1234);
+    let mut group = c.benchmark_group("gf16_mul_acc_1KiB");
+    group.sample_size(50);
+    group.bench_function("split_byte_tables", |b| {
+        b.iter(|| GF65536::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gf8_mul_acc, gf8_mul, xor, gf16_mul_acc);
+criterion_main!(benches);

@@ -3,9 +3,17 @@
 //! multi-megabyte file, Tables 2 and 3 of the paper).
 //!
 //! Elements are `u16`.  The full multiplication table would be 8 GiB, so
-//! multiplication goes through 64 K-entry log/exp tables instead; the
-//! slice kernels look up per-call log rows which keeps the per-byte cost at two
-//! table lookups and one add.
+//! scalar multiplication goes through 64 K-entry log/exp tables.  The *slice*
+//! kernels instead build two 256-entry split-byte product tables per call —
+//! `TLO[b] = c·b` and `THI[b] = c·(b << 8)`, so `c·x = TLO[x & 0xff] ⊕
+//! THI[x >> 8]` — which removes the per-element zero branch and log addition
+//! of the log/exp path and keeps the working set at 1 KiB.  The tables are
+//! filled with a subset-XOR dynamic program (16 field doublings + 512 XORs),
+//! cheap enough that even one 1 KiB packet amortizes it; slices below a small
+//! cutoff keep the direct log/exp loop.
+
+// In characteristic 2, addition and subtraction genuinely are XOR.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
 
 use crate::field::Field;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -27,8 +35,8 @@ fn tables() -> &'static Tables {
         let mut exp = vec![0u16; 2 * 65535 + 2];
         let mut log = vec![0u32; 65536];
         let mut x: u32 = 1;
-        for i in 0..65535 {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().enumerate().take(65535) {
+            *e = x as u16;
             log[x as usize] = i as u32;
             x <<= 1;
             if x & 0x10000 != 0 {
@@ -40,6 +48,53 @@ fn tables() -> &'static Tables {
         }
         Tables { exp, log }
     })
+}
+
+/// Slices shorter than this keep the direct log/exp element loop; longer ones
+/// amortize building the split-byte product tables.  64 bytes = 32 elements,
+/// roughly where the ~530-operation table build breaks even against the
+/// saved per-element branch and log addition.
+const SPLIT_TABLE_CUTOFF_BYTES: usize = 64;
+
+/// Split-byte product tables for a fixed coefficient:
+/// `c·x = lo[x & 0xff] ⊕ hi[x >> 8]`.
+struct ProductTables {
+    lo: [u16; 256],
+    hi: [u16; 256],
+}
+
+impl ProductTables {
+    /// Build by subset-XOR dynamic programming: compute `c·x^i` for the 16
+    /// bit positions by repeated doubling, then extend each table from the
+    /// single-bit entries (`table[b | bit] = table[bit] ⊕ table[b]`).
+    fn build(coeff: u16) -> Self {
+        let mut pow = [0u16; 16];
+        let mut v = coeff as u32;
+        for p in pow.iter_mut() {
+            *p = v as u16;
+            v <<= 1;
+            if v & 0x10000 != 0 {
+                v ^= PRIM_POLY;
+            }
+        }
+        let mut t = ProductTables {
+            lo: [0; 256],
+            hi: [0; 256],
+        };
+        for i in 0..8 {
+            let bit = 1usize << i;
+            for b in 0..bit {
+                t.lo[bit | b] = pow[i] ^ t.lo[b];
+                t.hi[bit | b] = pow[i + 8] ^ t.hi[b];
+            }
+        }
+        t
+    }
+
+    #[inline(always)]
+    fn mul(&self, x: u16) -> u16 {
+        self.lo[(x & 0xff) as usize] ^ self.hi[(x >> 8) as usize]
+    }
 }
 
 /// An element of GF(2^16).
@@ -163,16 +218,25 @@ impl Field for GF65536 {
             crate::field::xor_slice(dst, src);
             return;
         }
-        let t = tables();
-        let log_c = t.log[coeff.0 as usize];
-        for i in (0..dst.len()).step_by(2) {
-            let s = u16::from_le_bytes([src[i], src[i + 1]]);
-            if s == 0 {
-                continue;
+        if dst.len() < SPLIT_TABLE_CUTOFF_BYTES {
+            let t = tables();
+            let log_c = t.log[coeff.0 as usize];
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let sv = u16::from_le_bytes([s[0], s[1]]);
+                if sv == 0 {
+                    continue;
+                }
+                let prod = t.exp[(log_c + t.log[sv as usize]) as usize];
+                let dv = u16::from_le_bytes([d[0], d[1]]) ^ prod;
+                d.copy_from_slice(&dv.to_le_bytes());
             }
-            let prod = t.exp[(log_c + t.log[s as usize]) as usize];
-            let d = u16::from_le_bytes([dst[i], dst[i + 1]]) ^ prod;
-            dst[i..i + 2].copy_from_slice(&d.to_le_bytes());
+            return;
+        }
+        let t = ProductTables::build(coeff.0);
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let sv = u16::from_le_bytes([s[0], s[1]]);
+            let dv = u16::from_le_bytes([d[0], d[1]]) ^ t.mul(sv);
+            d.copy_from_slice(&dv.to_le_bytes());
         }
     }
 
@@ -189,16 +253,24 @@ impl Field for GF65536 {
             data.fill(0);
             return;
         }
-        let t = tables();
-        let log_c = t.log[coeff.0 as usize];
-        for i in (0..data.len()).step_by(2) {
-            let s = u16::from_le_bytes([data[i], data[i + 1]]);
-            let prod = if s == 0 {
-                0
-            } else {
-                t.exp[(log_c + t.log[s as usize]) as usize]
-            };
-            data[i..i + 2].copy_from_slice(&prod.to_le_bytes());
+        if data.len() < SPLIT_TABLE_CUTOFF_BYTES {
+            let t = tables();
+            let log_c = t.log[coeff.0 as usize];
+            for d in data.chunks_exact_mut(2) {
+                let dv = u16::from_le_bytes([d[0], d[1]]);
+                let prod = if dv == 0 {
+                    0
+                } else {
+                    t.exp[(log_c + t.log[dv as usize]) as usize]
+                };
+                d.copy_from_slice(&prod.to_le_bytes());
+            }
+            return;
+        }
+        let t = ProductTables::build(coeff.0);
+        for d in data.chunks_exact_mut(2) {
+            let dv = u16::from_le_bytes([d[0], d[1]]);
+            d.copy_from_slice(&t.mul(dv).to_le_bytes());
         }
     }
 }
@@ -225,7 +297,7 @@ mod tests {
         let g = GF65536::generator();
         let mut x = GF65536::ONE;
         for i in 1..=65535u32 {
-            x = x * g;
+            x *= g;
             if x == GF65536::ONE {
                 assert_eq!(i, 65535, "generator order must be 65535, repeated at {i}");
             }
@@ -260,6 +332,56 @@ mod tests {
         GF65536::mul_slice(GF65536(2), &mut data);
     }
 
+    /// Element-by-element reference for the slice kernels.
+    fn reference_mul_acc(coeff: u16, dst: &mut [u8], src: &[u8]) {
+        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+            let sv = GF65536(u16::from_le_bytes([s[0], s[1]]));
+            let dv = u16::from_le_bytes([d[0], d[1]]) ^ (GF65536(coeff) * sv).0;
+            d.copy_from_slice(&dv.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn split_byte_tables_match_field_mul_for_all_byte_patterns() {
+        // Covers every low-byte and high-byte table entry.
+        let src: Vec<u8> = (0..=255u16)
+            .flat_map(|b| [(b << 8) | b, b, b << 8])
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        for coeff in [0u16, 1, 2, 3, 0x100, 0xabc, 0x8000, 0xfffe, 0xffff] {
+            let mut dst = vec![0x5au8; src.len()];
+            let mut expect = dst.clone();
+            reference_mul_acc(coeff, &mut expect, &src);
+            GF65536::mul_acc_slice(GF65536(coeff), &mut dst, &src);
+            assert_eq!(dst, expect, "coeff {coeff:#06x}");
+        }
+    }
+
+    #[test]
+    fn slice_kernels_agree_across_the_cutoff() {
+        // Lengths straddling SPLIT_TABLE_CUTOFF_BYTES must agree: both the
+        // log/exp small-slice path and the split-byte table path are compared
+        // to the element-wise reference.
+        for len_elems in [1usize, 8, 31, 32, 33, 64, 100, 512] {
+            let src: Vec<u8> = (0..len_elems)
+                .flat_map(|i| ((i as u16).wrapping_mul(2654) ^ 0x700d).to_le_bytes())
+                .collect();
+            for coeff in [2u16, 0x1234, 0xffff] {
+                let mut dst: Vec<u8> = (0..src.len()).map(|i| i as u8).collect();
+                let mut expect = dst.clone();
+                reference_mul_acc(coeff, &mut expect, &src);
+                GF65536::mul_acc_slice(GF65536(coeff), &mut dst, &src);
+                assert_eq!(dst, expect, "mul_acc coeff {coeff:#06x} len {len_elems}");
+
+                let mut data = src.clone();
+                GF65536::mul_slice(GF65536(coeff), &mut data);
+                let mut expect = vec![0u8; src.len()];
+                reference_mul_acc(coeff, &mut expect, &src);
+                assert_eq!(data, expect, "mul coeff {coeff:#06x} len {len_elems}");
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -279,10 +401,23 @@ mod tests {
         }
 
         #[test]
+        fn prop_slice_kernels_match_reference(
+            coeff: u16,
+            elems in proptest::collection::vec(any::<u16>(), 0..200),
+        ) {
+            let src: Vec<u8> = elems.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let mut dst = vec![0xa5u8; src.len()];
+            let mut expect = dst.clone();
+            reference_mul_acc(coeff, &mut expect, &src);
+            GF65536::mul_acc_slice(GF65536(coeff), &mut dst, &src);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
         fn prop_pow_consistent(a: u16, e in 0u64..32) {
             let x = GF65536(a);
             let mut acc = GF65536::ONE;
-            for _ in 0..e { acc = acc * x; }
+            for _ in 0..e { acc *= x; }
             prop_assert_eq!(x.pow(e), acc);
         }
     }

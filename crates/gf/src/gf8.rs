@@ -6,6 +6,9 @@
 //! from log/exp tables over the primitive polynomial `0x11d`, which is the
 //! same polynomial used by Rizzo's `fec` code referenced by the paper.
 
+// In characteristic 2, addition and subtraction genuinely are XOR.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
 use crate::field::Field;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::sync::OnceLock;
@@ -25,14 +28,24 @@ struct Tables {
     inv: [u8; 256],
 }
 
+/// Full 256-entry product row for `coeff`: `mul_row(c)[x] = c·x`.
+///
+/// Shared with the [`crate::kernels`] module, which derives its split-nibble
+/// tables from these rows and uses them directly for scalar tails.
+#[inline]
+pub(crate) fn mul_row(coeff: u8) -> &'static [u8] {
+    let base = coeff as usize * 256;
+    &tables().mul[base..base + 256]
+}
+
 fn tables() -> &'static Tables {
     static TABLES: OnceLock<Tables> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut exp = [0u8; 512];
         let mut log = [0u16; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -169,10 +182,7 @@ impl Field for GF256 {
             crate::field::xor_slice(dst, src);
             return;
         }
-        let row = &tables().mul[coeff.0 as usize * 256..coeff.0 as usize * 256 + 256];
-        for (d, &s) in dst.iter_mut().zip(src.iter()) {
-            *d ^= row[s as usize];
-        }
+        crate::kernels::mul_acc_slice(coeff.0, dst, src);
     }
 
     fn mul_slice(coeff: Self, data: &mut [u8]) {
@@ -183,10 +193,7 @@ impl Field for GF256 {
             data.fill(0);
             return;
         }
-        let row = &tables().mul[coeff.0 as usize * 256..coeff.0 as usize * 256 + 256];
-        for d in data.iter_mut() {
-            *d = row[*d as usize];
-        }
+        crate::kernels::mul_slice(coeff.0, data);
     }
 }
 
@@ -223,7 +230,7 @@ mod tests {
         let mut x = GF256::ONE;
         let mut seen = std::collections::HashSet::new();
         for _ in 0..255 {
-            x = x * g;
+            x *= g;
             seen.insert(x.0);
         }
         assert_eq!(seen.len(), 255);
@@ -250,7 +257,7 @@ mod tests {
         let mut acc = GF256::ONE;
         for e in 0..20u64 {
             assert_eq!(x.pow(e), acc);
-            acc = acc * x;
+            acc *= x;
         }
     }
 

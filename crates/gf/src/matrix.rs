@@ -323,7 +323,9 @@ mod tests {
     fn vandermonde_square_is_invertible() {
         let points: Vec<GF256> = (1..=8u8).map(GF256).collect();
         let m = Matrix::vandermonde(&points, 8);
-        let inv = m.inverse().expect("Vandermonde with distinct points is invertible");
+        let inv = m
+            .inverse()
+            .expect("Vandermonde with distinct points is invertible");
         assert!(m.mul(&inv).unwrap().is_identity());
     }
 
@@ -346,18 +348,17 @@ mod tests {
     #[test]
     fn singular_matrix_reports_error() {
         // Two identical rows.
-        let m = Matrix::<GF256>::from_vec(
-            2,
-            2,
-            vec![GF256(3), GF256(5), GF256(3), GF256(5)],
-        );
+        let m = Matrix::<GF256>::from_vec(2, 2, vec![GF256(3), GF256(5), GF256(3), GF256(5)]);
         assert_eq!(m.inverse(), Err(GfError::SingularMatrix));
     }
 
     #[test]
     fn non_square_inverse_is_dimension_error() {
         let m = Matrix::<GF256>::zero(2, 3);
-        assert!(matches!(m.inverse(), Err(GfError::DimensionMismatch { .. })));
+        assert!(matches!(
+            m.inverse(),
+            Err(GfError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

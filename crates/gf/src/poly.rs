@@ -60,7 +60,11 @@ impl<F: Field> Poly<F> {
     ///
     /// Panics if the x-values are not distinct or the slices differ in length.
     pub fn interpolate(xs: &[F], ys: &[F]) -> Self {
-        assert_eq!(xs.len(), ys.len(), "interpolate needs matching point counts");
+        assert_eq!(
+            xs.len(),
+            ys.len(),
+            "interpolate needs matching point counts"
+        );
         let n = xs.len();
         let mut result = vec![F::ZERO; n.max(1)];
         for i in 0..n {

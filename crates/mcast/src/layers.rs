@@ -59,7 +59,7 @@ impl LayeredSession {
 
     /// True if `round` is a synchronisation point (a join opportunity).
     pub fn is_sync_point(&self, round: usize) -> bool {
-        round % self.sp_interval == 0 && round > 0
+        round.is_multiple_of(self.sp_interval) && round > 0
     }
 
     /// True if `round` falls inside the burst period preceding the next SP.
@@ -320,7 +320,11 @@ mod tests {
         let r = simulate_single_layer_receiver(&code, &schedule, 0.7, &mut rng);
         assert!(r.complete);
         assert!(r.distinctness_efficiency() < 1.0);
-        assert!(r.reception_efficiency() > 0.4, "η = {}", r.reception_efficiency());
+        assert!(
+            r.reception_efficiency() > 0.4,
+            "η = {}",
+            r.reception_efficiency()
+        );
     }
 
     #[test]
@@ -332,7 +336,11 @@ mod tests {
         // (bandwidth 1+1+2 = 4) but not level 3 (bandwidth 8).
         let r = session.simulate_receiver(&code, 4.0, 0.0, &mut rng);
         assert!(r.complete);
-        assert!(r.final_level <= 2, "level {} exceeds the bottleneck", r.final_level);
+        assert!(
+            r.final_level <= 2,
+            "level {} exceeds the bottleneck",
+            r.final_level
+        );
     }
 
     #[test]

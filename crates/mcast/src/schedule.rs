@@ -100,7 +100,11 @@ impl TransmissionSchedule {
         let mut prefix = 0usize;
         for p in 0..fixed {
             let last = p == fixed - 1;
-            let b = if layer == 0 || !last { 1 - bit(p) } else { bit(p) };
+            let b = if layer == 0 || !last {
+                1 - bit(p)
+            } else {
+                bit(p)
+            };
             prefix = (prefix << 1) | b;
         }
         let free = bits - fixed;
@@ -173,10 +177,26 @@ mod tests {
         let expect_layer1 = [6usize, 2, 4, 0, 7, 3, 5, 1];
         let expect_layer0 = [7usize, 3, 5, 1, 6, 2, 4, 0];
         for round in 0..8 {
-            assert_eq!(s.offsets_for(3, round), expect_layer3[round], "layer 3 round {round}");
-            assert_eq!(s.offsets_for(2, round), expect_layer2[round], "layer 2 round {round}");
-            assert_eq!(s.offsets_for(1, round), vec![expect_layer1[round]], "layer 1 round {round}");
-            assert_eq!(s.offsets_for(0, round), vec![expect_layer0[round]], "layer 0 round {round}");
+            assert_eq!(
+                s.offsets_for(3, round),
+                expect_layer3[round],
+                "layer 3 round {round}"
+            );
+            assert_eq!(
+                s.offsets_for(2, round),
+                expect_layer2[round],
+                "layer 2 round {round}"
+            );
+            assert_eq!(
+                s.offsets_for(1, round),
+                vec![expect_layer1[round]],
+                "layer 1 round {round}"
+            );
+            assert_eq!(
+                s.offsets_for(0, round),
+                vec![expect_layer0[round]],
+                "layer 0 round {round}"
+            );
         }
     }
 
@@ -237,7 +257,11 @@ mod tests {
                         }
                     }
                 }
-                assert_eq!(seen.len(), s.block_size(), "g={g} level {level} must cover the block");
+                assert_eq!(
+                    seen.len(),
+                    s.block_size(),
+                    "g={g} level {level} must cover the block"
+                );
             }
         }
     }
@@ -253,7 +277,10 @@ mod tests {
         // Offsets {0,1} at round 0 for layer 2 (g=3): blocks at 0,4,8.
         assert_eq!(tx, vec![0, 1, 4, 5, 8, 9]);
         let rx = s.received_at_level(2, 0);
-        assert_eq!(rx.len(), tx.len() + s.transmission(1, 0).len() + s.transmission(0, 0).len());
+        assert_eq!(
+            rx.len(),
+            tx.len() + s.transmission(1, 0).len() + s.transmission(0, 0).len()
+        );
     }
 
     #[test]

@@ -139,14 +139,16 @@ impl Client {
         // Statistical strategy: only attempt a decode once enough distinct
         // packets have accumulated; after a failed attempt, wait for another
         // 2 % of k before trying again.
-        let threshold =
-            (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
+        let threshold = (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
         if self.stats.distinct >= threshold {
             self.stats.decode_attempts += 1;
             let mut decoder: PayloadDecoder<'_> = self.code.decoder();
             let mut complete = false;
             for (i, payload) in &self.buffered {
-                match decoder.add_packet(*i, payload.clone()) {
+                // By reference: the buffer keeps ownership, so a failed
+                // statistical attempt only clones the packets that advanced
+                // the peeling, not the whole buffer.
+                match decoder.add_packet_ref(*i, payload) {
                     Ok(AddOutcome::Complete) => {
                         complete = true;
                         break;
@@ -170,7 +172,7 @@ impl Client {
 mod tests {
     use super::*;
     use crate::server::Server;
-    use crate::transport::{SimMulticast, Transport};
+    use crate::transport::SimMulticast;
 
     fn run_download(loss: f64, layers: usize, data_len: usize) -> (Client, Vec<u8>) {
         let data: Vec<u8> = (0..data_len).map(|i| (i * 131 % 251) as u8).collect();

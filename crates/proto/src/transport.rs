@@ -114,7 +114,9 @@ impl Transport for SimMulticast {
             if inner.rng.gen::<f64>() < loss {
                 continue;
             }
-            inner.receivers[i].queue.push_back((group, datagram.clone()));
+            inner.receivers[i]
+                .queue
+                .push_back((group, datagram.clone()));
             inner.delivered += 1;
         }
     }
@@ -134,7 +136,9 @@ impl SimReceiverHandle {
     /// Leave a multicast group.
     pub fn unsubscribe(&self, group: u32) {
         let mut inner = self.inner.lock();
-        inner.receivers[self.receiver].groups.retain(|&g| g != group);
+        inner.receivers[self.receiver]
+            .groups
+            .retain(|&g| g != group);
     }
 
     /// Pop the next delivered datagram, if any.

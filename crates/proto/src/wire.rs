@@ -119,7 +119,11 @@ mod tests {
         let payload = Bytes::from(vec![0xabu8; 500]);
         let pkt = DataPacket::new(h, payload.clone());
         let wire = pkt.to_bytes();
-        assert_eq!(wire.len(), 512, "500 B payload + 12 B header = 512 B datagram");
+        assert_eq!(
+            wire.len(),
+            512,
+            "500 B payload + 12 B header = 512 B datagram"
+        );
         let back = DataPacket::from_bytes(wire).unwrap();
         assert_eq!(back.header, h);
         assert_eq!(back.payload, payload);

@@ -25,7 +25,7 @@
 //! bit matrices so encoding uses only word XORs; that changes constant
 //! factors, not asymptotics, and is noted as a substitution in DESIGN.md.
 
-use crate::code::{check_received, check_source, ErasureCode, RsError};
+use crate::code::{check_received, check_source, reset_copy, reset_zeroed, ErasureCode, RsError};
 use df_gf::{Field, GF256, GF65536};
 
 /// A systematic Cauchy Reed–Solomon erasure code.
@@ -103,13 +103,20 @@ impl<F: Field> CauchyCode<F> {
     }
 
     /// Solve the `x × x` Cauchy system `C_sub · m = b` for the missing source
-    /// packets using the closed-form Cauchy inverse.
+    /// packets using the closed-form Cauchy inverse, writing each recovered
+    /// payload directly into its final slot `out[cols[i]]` (buffers reused).
     ///
     /// `rows` are indices into `self.x` (which redundant packets we use),
-    /// `cols` are indices into `self.y` (which source packets are missing),
-    /// `b` holds one partially-reduced payload per row, and the result is one
-    /// recovered payload per column.
-    fn solve_cauchy(&self, rows: &[usize], cols: &[usize], b: &[Vec<u8>], len: usize) -> Vec<Vec<u8>> {
+    /// `cols` are the missing source indices (into both `self.y` and `out`),
+    /// and `b` holds one partially-reduced payload per row.
+    fn solve_cauchy(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        b: &[Vec<u8>],
+        len: usize,
+        out: &mut [Vec<u8>],
+    ) {
         let m = rows.len();
         debug_assert_eq!(cols.len(), m);
         debug_assert_eq!(b.len(), m);
@@ -123,13 +130,13 @@ impl<F: Field> CauchyCode<F> {
         let mut row_cross = vec![F::ONE; m]; // Π_p (xs[j] + ys[p]) for each j
         let mut col_cross = vec![F::ONE; m]; // Π_p (xs[p] + ys[i]) for each i
         for j in 0..m {
-            for p in 0..m {
-                row_cross[j] *= xs[j] + ys[p];
+            for &y in &ys {
+                row_cross[j] *= xs[j] + y;
             }
         }
         for i in 0..m {
-            for p in 0..m {
-                col_cross[i] *= xs[p] + ys[i];
+            for &x in &xs {
+                col_cross[i] *= x + ys[i];
             }
         }
         let mut row_self = vec![F::ONE; m]; // Π_{p≠j} (xs[j] + xs[p])
@@ -149,8 +156,9 @@ impl<F: Field> CauchyCode<F> {
             }
         }
 
-        let mut out = vec![vec![0u8; len]; m];
         for i in 0..m {
+            let target = &mut out[cols[i]];
+            reset_zeroed(target, len);
             for j in 0..m {
                 let num = row_cross[j] * col_cross[i];
                 let den = (xs[j] + ys[i]) * row_self[j] * col_self[i];
@@ -161,10 +169,9 @@ impl<F: Field> CauchyCode<F> {
                 if inv_entry.is_zero() {
                     continue;
                 }
-                F::mul_acc_slice(inv_entry, &mut out[i], &b[j]);
+                F::mul_acc_slice(inv_entry, target, &b[j]);
             }
         }
-        out
     }
 }
 
@@ -177,48 +184,52 @@ impl<F: Field> ErasureCode for CauchyCode<F> {
         self.n
     }
 
-    fn encode(&self, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+    fn encode_into(&self, source: &[Vec<u8>], out: &mut Vec<Vec<u8>>) -> Result<(), RsError> {
         let len = check_source(source, self.k)?;
         if F::BITS == 16 && len % 2 != 0 {
             return Err(RsError::MalformedInput {
                 reason: "GF(2^16) codes require even packet lengths".to_string(),
             });
         }
-        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.n);
-        for pkt in source {
-            out.push(pkt.clone());
+        out.resize_with(self.n, Vec::new);
+        let (systematic, redundant) = out.split_at_mut(self.k);
+        for (slot, pkt) in systematic.iter_mut().zip(source) {
+            reset_copy(slot, pkt);
         }
-        for r in 0..(self.n - self.k) {
-            let mut acc = vec![0u8; len];
+        for (r, acc) in redundant.iter_mut().enumerate() {
+            reset_zeroed(acc, len);
             for (c, pkt) in source.iter().enumerate() {
-                F::mul_acc_slice(self.coeff(r, c), &mut acc, pkt);
+                F::mul_acc_slice(self.coeff(r, c), acc, pkt);
             }
-            out.push(acc);
         }
-        Ok(out)
+        Ok(())
     }
 
-    fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
+    fn decode_into(
+        &self,
+        received: &[(usize, &[u8])],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), RsError> {
         let (picked, len) = check_received(received, self.k, self.n)?;
         if F::BITS == 16 && len % 2 != 0 {
             return Err(RsError::MalformedInput {
                 reason: "GF(2^16) codes require even packet lengths".to_string(),
             });
         }
-        let mut result: Vec<Vec<u8>> = vec![Vec::new(); self.k];
+        out.resize_with(self.k, Vec::new);
         let mut have_source = vec![false; self.k];
         let mut redundant: Vec<(usize, &[u8])> = Vec::new();
-        for (idx, payload) in &picked {
-            if *idx < self.k {
-                have_source[*idx] = true;
-                result[*idx] = payload.to_vec();
+        for &(idx, payload) in &picked {
+            if idx < self.k {
+                have_source[idx] = true;
+                reset_copy(&mut out[idx], payload);
             } else {
-                redundant.push((*idx - self.k, payload));
+                redundant.push((idx - self.k, payload));
             }
         }
         let missing: Vec<usize> = (0..self.k).filter(|&i| !have_source[i]).collect();
         if missing.is_empty() {
-            return Ok(result);
+            return Ok(());
         }
         // `picked` contains exactly k distinct packets, so the number of
         // redundant packets equals the number of missing source packets.
@@ -228,20 +239,17 @@ impl<F: Field> ErasureCode for CauchyCode<F> {
         // Reduce each used redundant packet by the contribution of the source
         // packets we already hold:  b_j = red_j  ⊕  Σ_{c received} C[r_j][c]·src_c.
         let mut b: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
-        for (r, payload) in &redundant {
+        for &(r, payload) in &redundant {
             let mut acc = payload.to_vec();
             for c in 0..self.k {
                 if have_source[c] {
-                    F::mul_acc_slice(self.coeff(*r, c), &mut acc, &result[c]);
+                    F::mul_acc_slice(self.coeff(r, c), &mut acc, &out[c]);
                 }
             }
             b.push(acc);
         }
-        let recovered = self.solve_cauchy(&rows, &missing, &b, len);
-        for (i, &c) in missing.iter().enumerate() {
-            result[c] = recovered[i].clone();
-        }
-        Ok(result)
+        self.solve_cauchy(&rows, &missing, &b, len, out);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -253,12 +261,14 @@ impl<F: Field> ErasureCode for CauchyCode<F> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
     use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
 
     fn random_source(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]
@@ -355,6 +365,38 @@ mod tests {
         idx.shuffle(&mut rng);
         let rx: Vec<(usize, Vec<u8>)> = idx[..k].iter().map(|&i| (i, enc[i].clone())).collect();
         assert_eq!(code.decode(&rx).unwrap(), src);
+    }
+
+    #[test]
+    fn encode_into_and_decode_into_reuse_buffers() {
+        let code = CauchyCode::new(8, 16).unwrap();
+        let mut encoded = Vec::new();
+        let mut decoded = Vec::new();
+        // Seed the reused buffers with stale content of a *different* shape to
+        // prove each call fully overwrites what it needs.
+        decoded.push(vec![0xeeu8; 999]);
+        for seed in 0..3u64 {
+            let src = random_source(8, 64, seed);
+            code.encode_into(&src, &mut encoded).unwrap();
+            assert_eq!(encoded.len(), 16);
+            assert_eq!(&encoded[..8], &src[..]);
+            let refs: Vec<(usize, &[u8])> = (4..12).map(|i| (i, encoded[i].as_slice())).collect();
+            code.decode_into(&refs, &mut decoded).unwrap();
+            assert_eq!(decoded, src, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decode_ref_matches_decode() {
+        let code = CauchyCode::new(5, 10).unwrap();
+        let src = random_source(5, 40, 9);
+        let enc = code.encode(&src).unwrap();
+        let owned: Vec<(usize, Vec<u8>)> = (5..10).map(|i| (i, enc[i].clone())).collect();
+        let refs: Vec<(usize, &[u8])> = owned.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+        assert_eq!(
+            code.decode(&owned).unwrap(),
+            code.decode_ref(&refs).unwrap()
+        );
     }
 
     #[test]

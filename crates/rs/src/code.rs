@@ -72,31 +72,93 @@ pub trait ErasureCode: Send + Sync {
         self.n() as f64 / self.k() as f64
     }
 
-    /// Produce the full encoding: `n` packets whose first `k` are copies of
-    /// the source packets.
+    /// Produce the full encoding into caller-provided storage: `n` packets
+    /// whose first `k` are copies of the source packets.
+    ///
+    /// This is the allocation-free primitive: `out` is resized to `n` entries
+    /// and each entry's buffer is reused if its capacity suffices, so a
+    /// carousel re-encoding files of the same shape allocates nothing after
+    /// the first call.
     ///
     /// # Errors
     ///
     /// Returns [`RsError::MalformedInput`] if the source packet count is not
     /// `k` or the packets have inconsistent lengths.
-    fn encode(&self, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError>;
+    fn encode_into(&self, source: &[Vec<u8>], out: &mut Vec<Vec<u8>>) -> Result<(), RsError>;
+
+    /// Convenience wrapper over [`ErasureCode::encode_into`] allocating fresh
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// See [`ErasureCode::encode_into`].
+    fn encode(&self, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        let mut out = Vec::new();
+        self.encode_into(source, &mut out)?;
+        Ok(out)
+    }
 
     /// Reconstruct the `k` source packets from any `k` distinct encoding
-    /// packets, supplied as `(encoding index, payload)` pairs.
+    /// packets supplied as `(encoding index, payload)` pairs, into
+    /// caller-provided storage whose buffers are reused.
     ///
-    /// Extra packets beyond `k` are ignored (the first `k` distinct in-range
-    /// indices are used).  Duplicate indices are deduplicated.
+    /// Payloads are **borrowed**: decoding copies each payload at most once
+    /// (into its final position), never to marshal the input.  Extra packets
+    /// beyond `k` are ignored (the first `k` distinct in-range indices are
+    /// used); duplicate indices are deduplicated.
     ///
     /// # Errors
     ///
     /// Returns [`RsError::NotEnoughPackets`] when fewer than `k` distinct
     /// packets are available and [`RsError::MalformedInput`] on inconsistent
     /// payload lengths or out-of-range indices.
-    fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError>;
+    fn decode_into(
+        &self,
+        received: &[(usize, &[u8])],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), RsError>;
+
+    /// Borrowing wrapper over [`ErasureCode::decode_into`] allocating fresh
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// See [`ErasureCode::decode_into`].
+    fn decode_ref(&self, received: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>, RsError> {
+        let mut out = Vec::new();
+        self.decode_into(received, &mut out)?;
+        Ok(out)
+    }
+
+    /// Owned-payload wrapper over [`ErasureCode::decode_into`], kept for
+    /// callers that naturally hold `(index, Vec<u8>)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`ErasureCode::decode_into`].
+    fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
+        let refs: Vec<(usize, &[u8])> = received
+            .iter()
+            .map(|(idx, payload)| (*idx, payload.as_slice()))
+            .collect();
+        self.decode_ref(&refs)
+    }
 
     /// A short human-readable name used in benchmark tables
     /// ("vandermonde", "cauchy", ...).
     fn name(&self) -> &'static str;
+}
+
+/// Reset `buf` to `len` zero bytes, reusing its capacity.
+pub(crate) fn reset_zeroed(buf: &mut Vec<u8>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0);
+}
+
+/// Overwrite `buf` with a copy of `data`, reusing its capacity.
+pub(crate) fn reset_copy(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.clear();
+    buf.extend_from_slice(data);
 }
 
 /// Validate a batch of source packets against code parameters and return the
@@ -121,18 +183,22 @@ pub(crate) fn check_source(source: &[Vec<u8>], k: usize) -> Result<usize, RsErro
     Ok(len)
 }
 
+/// Deduplicated borrowed packets plus their shared payload length, as
+/// returned by [`check_received`].
+pub(crate) type PickedPackets<'a> = (Vec<(usize, &'a [u8])>, usize);
+
 /// Deduplicate received packets, validate indices/lengths, and return up to
 /// `k` of them sorted by index, along with the shared payload length.
-pub(crate) fn check_received(
-    received: &[(usize, Vec<u8>)],
+pub(crate) fn check_received<'a>(
+    received: &[(usize, &'a [u8])],
     k: usize,
     n: usize,
-) -> Result<(Vec<(usize, &[u8])>, usize), RsError> {
+) -> Result<PickedPackets<'a>, RsError> {
     let mut seen = vec![false; n];
-    let mut picked: Vec<(usize, &[u8])> = Vec::with_capacity(k);
+    let mut picked: Vec<(usize, &'a [u8])> = Vec::with_capacity(k);
     let mut len: Option<usize> = None;
-    for (idx, payload) in received {
-        if *idx >= n {
+    for &(idx, payload) in received {
+        if idx >= n {
             return Err(RsError::MalformedInput {
                 reason: format!("packet index {idx} out of range for n = {n}"),
             });
@@ -146,11 +212,11 @@ pub(crate) fn check_received(
             }
             _ => {}
         }
-        if seen[*idx] {
+        if seen[idx] {
             continue;
         }
-        seen[*idx] = true;
-        picked.push((*idx, payload.as_slice()));
+        seen[idx] = true;
+        picked.push((idx, payload));
         if picked.len() == k {
             break;
         }
@@ -202,6 +268,10 @@ mod tests {
         ));
     }
 
+    fn as_refs(rx: &[(usize, Vec<u8>)]) -> Vec<(usize, &[u8])> {
+        rx.iter().map(|(i, p)| (*i, p.as_slice())).collect()
+    }
+
     #[test]
     fn check_received_dedups_and_sorts() {
         let rx = vec![
@@ -210,7 +280,7 @@ mod tests {
             (3, vec![9u8; 2]),
             (0, vec![0u8; 2]),
         ];
-        let (picked, len) = check_received(&rx, 3, 4).unwrap();
+        let (picked, len) = check_received(&as_refs(&rx), 3, 4).unwrap();
         assert_eq!(len, 2);
         let idxs: Vec<usize> = picked.iter().map(|(i, _)| *i).collect();
         assert_eq!(idxs, vec![0, 1, 3]);
@@ -222,7 +292,7 @@ mod tests {
     fn check_received_not_enough() {
         let rx = vec![(0usize, vec![1u8; 2]), (0, vec![1u8; 2])];
         assert_eq!(
-            check_received(&rx, 2, 4),
+            check_received(&as_refs(&rx), 2, 4),
             Err(RsError::NotEnoughPackets { have: 1, need: 2 })
         );
     }
@@ -231,7 +301,7 @@ mod tests {
     fn check_received_out_of_range() {
         let rx = vec![(7usize, vec![1u8; 2])];
         assert!(matches!(
-            check_received(&rx, 1, 4),
+            check_received(&as_refs(&rx), 1, 4),
             Err(RsError::MalformedInput { .. })
         ));
     }

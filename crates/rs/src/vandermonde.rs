@@ -12,7 +12,7 @@
 //! byte where `x` is the number of missing source packets — the costs the
 //! paper summarises in Table 1.
 
-use crate::code::{check_received, check_source, ErasureCode, RsError};
+use crate::code::{check_received, check_source, reset_copy, reset_zeroed, ErasureCode, RsError};
 use df_gf::{Field, Matrix, GF256, GF65536};
 
 /// Shared implementation for generator-matrix-based systematic MDS codes.
@@ -35,33 +35,41 @@ impl<F: Field> MatrixCode<F> {
         MatrixCode { k, n, generator }
     }
 
-    pub(crate) fn encode(&self, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+    pub(crate) fn encode_into(
+        &self,
+        source: &[Vec<u8>],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), RsError> {
         let len = check_source(source, self.k)?;
         if F::BITS == 16 && len % 2 != 0 {
             return Err(RsError::MalformedInput {
                 reason: "GF(2^16) codes require even packet lengths".to_string(),
             });
         }
-        let mut out = Vec::with_capacity(self.n);
+        out.resize_with(self.n, Vec::new);
+        let (systematic, redundant) = out.split_at_mut(self.k);
         // Systematic prefix: source packets are passed through untouched.
-        for pkt in source.iter().take(self.k) {
-            out.push(pkt.clone());
+        for (slot, pkt) in systematic.iter_mut().zip(source) {
+            reset_copy(slot, pkt);
         }
-        for j in self.k..self.n {
+        for (j, acc) in (self.k..self.n).zip(redundant.iter_mut()) {
             let row = self.generator.row(j);
-            let mut acc = vec![0u8; len];
+            reset_zeroed(acc, len);
             for (i, coeff) in row.iter().enumerate() {
                 if coeff.is_zero() {
                     continue;
                 }
-                F::mul_acc_slice(*coeff, &mut acc, &source[i]);
+                F::mul_acc_slice(*coeff, acc, &source[i]);
             }
-            out.push(acc);
         }
-        Ok(out)
+        Ok(())
     }
 
-    pub(crate) fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
+    pub(crate) fn decode_into(
+        &self,
+        received: &[(usize, &[u8])],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), RsError> {
         let (picked, len) = check_received(received, self.k, self.n)?;
         if F::BITS == 16 && len % 2 != 0 {
             return Err(RsError::MalformedInput {
@@ -69,19 +77,17 @@ impl<F: Field> MatrixCode<F> {
             });
         }
         // Which source packets arrived verbatim?
-        let mut source_payload: Vec<Option<&[u8]>> = vec![None; self.k];
-        for (idx, payload) in &picked {
-            if *idx < self.k {
-                source_payload[*idx] = Some(payload);
+        let mut have_source = vec![false; self.k];
+        out.resize_with(self.k, Vec::new);
+        for &(idx, payload) in &picked {
+            if idx < self.k {
+                have_source[idx] = true;
+                reset_copy(&mut out[idx], payload);
             }
         }
-        let missing: Vec<usize> = (0..self.k).filter(|&i| source_payload[i].is_none()).collect();
-        let mut result: Vec<Vec<u8>> = source_payload
-            .iter()
-            .map(|p| p.map(|s| s.to_vec()).unwrap_or_default())
-            .collect();
+        let missing: Vec<usize> = (0..self.k).filter(|&i| !have_source[i]).collect();
         if missing.is_empty() {
-            return Ok(result);
+            return Ok(());
         }
         // Solve for the missing source packets: the received rows of the
         // generator, restricted to the k picked packets, form an invertible
@@ -91,17 +97,17 @@ impl<F: Field> MatrixCode<F> {
         let a = self.generator.select_rows(&rows);
         let a_inv = a.inverse().map_err(|_| RsError::DecodeFailure)?;
         for &mi in &missing {
-            let mut acc = vec![0u8; len];
-            for (col, (_, payload)) in picked.iter().enumerate() {
+            let acc = &mut out[mi];
+            reset_zeroed(acc, len);
+            for (col, &(_, payload)) in picked.iter().enumerate() {
                 let coeff = a_inv[(mi, col)];
                 if coeff.is_zero() {
                     continue;
                 }
-                F::mul_acc_slice(coeff, &mut acc, payload);
+                F::mul_acc_slice(coeff, acc, payload);
             }
-            result[mi] = acc;
         }
-        Ok(result)
+        Ok(())
     }
 }
 
@@ -162,9 +168,11 @@ impl<F: Field> VandermondeCode<F> {
         // systematic transform always succeeds.
         let points: Vec<F> = (0..n).map(F::from_usize).collect();
         let vander = Matrix::vandermonde(&points, k);
-        let generator = vander.systematic().map_err(|e| RsError::InvalidParameters {
-            reason: format!("failed to build systematic generator: {e}"),
-        })?;
+        let generator = vander
+            .systematic()
+            .map_err(|e| RsError::InvalidParameters {
+                reason: format!("failed to build systematic generator: {e}"),
+            })?;
         Ok(VandermondeCode {
             inner: MatrixCode::from_generator(k, n, generator),
         })
@@ -180,12 +188,16 @@ impl<F: Field> ErasureCode for VandermondeCode<F> {
         self.inner.n
     }
 
-    fn encode(&self, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
-        self.inner.encode(source)
+    fn encode_into(&self, source: &[Vec<u8>], out: &mut Vec<Vec<u8>>) -> Result<(), RsError> {
+        self.inner.encode_into(source, out)
     }
 
-    fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
-        self.inner.decode(received)
+    fn decode_into(
+        &self,
+        received: &[(usize, &[u8])],
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), RsError> {
+        self.inner.decode_into(received, out)
     }
 
     fn name(&self) -> &'static str {
@@ -197,12 +209,14 @@ impl<F: Field> ErasureCode for VandermondeCode<F> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::{Rng, SeedableRng};
     use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
 
     fn random_source(k: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..k).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..len).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     #[test]

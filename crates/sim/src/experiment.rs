@@ -191,7 +191,8 @@ pub fn trace_experiment(
                     }
                 }
                 Scheme::Interleaved { block_source } => {
-                    let code = InterleavedCode::new(k, *block_source, 2.0).expect("valid parameters");
+                    let code =
+                        InterleavedCode::new(k, *block_source, 2.0).expect("valid parameters");
                     for trace in traces.traces() {
                         let offset = rng.gen_range(0..trace.len().max(1));
                         let mut loss = TraceReplay::new(trace, offset);
@@ -312,15 +313,7 @@ mod tests {
 
     #[test]
     fn scaling_experiment_shows_tornado_winning_at_high_loss() {
-        let points = receiver_scaling_experiment(
-            250,
-            1,
-            0.5,
-            &[1, 20],
-            &default_schemes(),
-            2,
-            42,
-        );
+        let points = receiver_scaling_experiment(250, 1, 0.5, &[1, 20], &default_schemes(), 2, 42);
         assert_eq!(points.len(), 6);
         let eta = |scheme: &str, x: f64| {
             points

@@ -169,15 +169,19 @@ impl InterleavedCode {
     /// distinct packets — the situation a carousel receiver keeps listening
     /// through.
     pub fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>, RsError> {
-        let mut per_block: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); self.blocks.len()];
+        // Payloads are routed to their blocks by reference; the only copies
+        // made are the ones landing in the decoded output.
+        let mut per_block: Vec<Vec<(usize, &[u8])>> = vec![Vec::new(); self.blocks.len()];
         for (idx, payload) in received {
             let (b, within) = self.locate(*idx);
-            per_block[b].push((within, payload.clone()));
+            per_block[b].push((within, payload.as_slice()));
         }
         let mut out = Vec::with_capacity(self.total_source);
+        let mut block_out = Vec::new();
         for (b, &(k, n)) in self.blocks.iter().enumerate() {
             let code = CauchyCode::<GF256>::new(k, n)?;
-            out.extend(code.decode(&per_block[b])?);
+            code.decode_into(&per_block[b], &mut block_out)?;
+            out.append(&mut block_out);
         }
         Ok(out)
     }
@@ -296,7 +300,9 @@ mod tests {
     fn encode_decode_roundtrip_with_losses() {
         let code = InterleavedCode::new(60, 20, 2.0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let src: Vec<Vec<u8>> = (0..60).map(|_| (0..32).map(|_| rng.gen()).collect()).collect();
+        let src: Vec<Vec<u8>> = (0..60)
+            .map(|_| (0..32).map(|_| rng.gen()).collect())
+            .collect();
         let enc = code.encode(&src).unwrap();
         assert_eq!(enc.len(), code.n());
         // Drop 40 % of packets uniformly; with stretch 2 and only 3 blocks of
@@ -343,10 +349,15 @@ mod tests {
     fn decode_reports_missing_block() {
         let code = InterleavedCode::new(40, 20, 2.0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let src: Vec<Vec<u8>> = (0..40).map(|_| (0..8).map(|_| rng.gen()).collect()).collect();
+        let src: Vec<Vec<u8>> = (0..40)
+            .map(|_| (0..8).map(|_| rng.gen()).collect())
+            .collect();
         let enc = code.encode(&src).unwrap();
         // All of block 0, nothing of block 1.
         let rx: Vec<(usize, Vec<u8>)> = (0..40).map(|i| (i, enc[i].clone())).collect();
-        assert!(matches!(code.decode(&rx), Err(RsError::NotEnoughPackets { .. })));
+        assert!(matches!(
+            code.decode(&rx),
+            Err(RsError::NotEnoughPackets { .. })
+        ));
     }
 }

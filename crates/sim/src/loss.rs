@@ -35,7 +35,10 @@ impl BernoulliLoss {
     /// Panics if `p` is not in `[0, 1)` — a loss rate of 1 would mean the
     /// receiver never receives anything and no simulation can terminate.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         BernoulliLoss { p }
     }
 
@@ -107,7 +110,10 @@ impl GilbertElliottLoss {
     ///
     /// Panics unless `0 ≤ target < 1` and `burst_len ≥ 1`.
     pub fn with_average(target: f64, burst_len: f64) -> Self {
-        assert!((0.0..1.0).contains(&target), "target loss must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&target),
+            "target loss must be in [0, 1)"
+        );
         assert!(burst_len >= 1.0, "burst length must be at least one packet");
         let loss_bad = 1.0;
         let loss_good = (target * 0.01).min(0.9);

@@ -92,7 +92,11 @@ where
             seen[idx] = true;
             distinct += 1;
         }
-        if decoder.add_packet(idx, df_core::Mark).expect("index in range") == df_core::AddOutcome::Complete {
+        if decoder
+            .add_packet(idx, df_core::Mark)
+            .expect("index in range")
+            == df_core::AddOutcome::Complete
+        {
             break;
         }
     }
@@ -190,7 +194,11 @@ mod tests {
         assert_eq!(out.received, out.transmitted);
         assert_eq!(out.received, out.distinct, "first cycle has no duplicates");
         assert!(out.received >= 500);
-        assert!(out.reception_efficiency() > 0.7, "η = {}", out.reception_efficiency());
+        assert!(
+            out.reception_efficiency() > 0.7,
+            "η = {}",
+            out.reception_efficiency()
+        );
         // η = η_c · η_d must hold exactly.
         let eta = out.reception_efficiency();
         assert!((eta - out.coding_efficiency() * out.distinctness_efficiency()).abs() < 1e-12);
@@ -207,7 +215,11 @@ mod tests {
         let mut loss = BernoulliLoss::new(0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let out = simulate_interleaved_receiver(&code, &mut loss, &mut rng);
-        assert!(out.reception_efficiency() > 0.95, "η = {}", out.reception_efficiency());
+        assert!(
+            out.reception_efficiency() > 0.95,
+            "η = {}",
+            out.reception_efficiency()
+        );
     }
 
     #[test]
@@ -224,10 +236,11 @@ mod tests {
         let mut eta_i = 0.0;
         for _ in 0..trials {
             let mut loss = BernoulliLoss::new(0.5);
-            eta_t += simulate_tornado_receiver(&tornado, &mut loss, &mut rng).reception_efficiency();
+            eta_t +=
+                simulate_tornado_receiver(&tornado, &mut loss, &mut rng).reception_efficiency();
             let mut loss = BernoulliLoss::new(0.5);
-            eta_i +=
-                simulate_interleaved_receiver(&interleaved, &mut loss, &mut rng).reception_efficiency();
+            eta_i += simulate_interleaved_receiver(&interleaved, &mut loss, &mut rng)
+                .reception_efficiency();
         }
         eta_t /= trials as f64;
         eta_i /= trials as f64;

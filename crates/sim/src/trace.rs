@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn synthetic_trace_matches_target_rate() {
         let t = ReceiverTrace::synthetic(100_000, 0.18, 6.0, 1);
-        assert!((t.loss_rate() - 0.18).abs() < 0.02, "rate {}", t.loss_rate());
+        assert!(
+            (t.loss_rate() - 0.18).abs() < 0.02,
+            "rate {}",
+            t.loss_rate()
+        );
         assert_eq!(t.len(), 100_000);
     }
 

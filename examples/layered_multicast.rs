@@ -48,5 +48,7 @@ fn main() {
             r.rounds
         );
     }
-    println!("receivers never sent a single packet upstream: congestion control is receiver-driven");
+    println!(
+        "receivers never sent a single packet upstream: congestion control is receiver-driven"
+    );
 }

@@ -50,9 +50,16 @@ fn main() {
             }
         }
     }
-    println!("file of {} packets reconstructed from {} received packets", k, total);
+    println!(
+        "file of {} packets reconstructed from {} received packets",
+        k, total
+    );
     for ((name, loss, _), got) in mirrors.iter().zip(&received_from) {
-        println!("  {name:<10} (loss {:>4.0} %) contributed {:>5} packets", loss * 100.0, got);
+        println!(
+            "  {name:<10} (loss {:>4.0} %) contributed {:>5} packets",
+            loss * 100.0,
+            got
+        );
     }
     println!(
         "aggregate reception efficiency: {:.3}",

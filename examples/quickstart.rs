@@ -12,12 +12,20 @@ fn main() {
     // A 1 MB "software release" split into 1 KB packets.
     let data: Vec<u8> = (0..1024 * 1024).map(|i| (i % 251) as u8).collect();
     let file = PacketizedFile::split(&data, 1024).expect("non-empty file");
-    println!("file: {} bytes -> {} source packets", data.len(), file.num_packets());
+    println!(
+        "file: {} bytes -> {} source packets",
+        data.len(),
+        file.num_packets()
+    );
 
     // Build a Tornado A code with stretch factor 2 and encode.
     let code = TornadoCode::new_a(file.num_packets(), 0x5eed).expect("valid parameters");
     let encoding = code.encode(file.packets()).expect("encode");
-    println!("encoding: {} packets (stretch factor {:.1})", code.n(), code.stretch_factor());
+    println!(
+        "encoding: {} packets (stretch factor {:.1})",
+        code.n(),
+        code.stretch_factor()
+    );
 
     // A receiver that hears a random subset of the encoding — any sufficiently
     // large subset will do, which is the digital-fountain property.
@@ -27,7 +35,7 @@ fn main() {
     let mut used = 0;
     for &i in &order {
         used += 1;
-        if decoder.add_packet(i, encoding[i].clone()).expect("in range")
+        if decoder.add_packet_ref(i, &encoding[i]).expect("in range")
             == digital_fountain::core::AddOutcome::Complete
         {
             break;

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example software_update`
 
 use digital_fountain::core::{TornadoCode, TORNADO_A};
-use digital_fountain::sim::{simulate_tornado_receiver, BernoulliLoss, GilbertElliottLoss, LossModel};
+use digital_fountain::sim::{
+    simulate_tornado_receiver, BernoulliLoss, GilbertElliottLoss, LossModel,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -17,11 +19,18 @@ fn main() {
     // A 4 MB release, 1 KB packets.
     let k = 4 * 1024;
     let code = TornadoCode::with_profile(k, TORNADO_A, 2026).expect("valid parameters");
-    println!("release: {} packets, encoding {} packets", code.k(), code.n());
+    println!(
+        "release: {} packets, encoding {} packets",
+        code.k(),
+        code.n()
+    );
 
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let mut report = |label: &str, outcomes: Vec<digital_fountain::sim::ReceiverOutcome>| {
-        let avg: f64 = outcomes.iter().map(|o| o.reception_efficiency()).sum::<f64>()
+    let report = |label: &str, outcomes: Vec<digital_fountain::sim::ReceiverOutcome>| {
+        let avg: f64 = outcomes
+            .iter()
+            .map(|o| o.reception_efficiency())
+            .sum::<f64>()
             / outcomes.len() as f64;
         let worst = outcomes
             .iter()

@@ -1,0 +1,228 @@
+//! Offline micro-benchmark harness mirroring the subset of `criterion` this
+//! workspace uses (see `shims/README.md` for why external crates are shimmed).
+//!
+//! Supported surface: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simpler than real criterion, adequate for regression
+//! tracking): each benchmark is warmed up once, then timed for `sample_size`
+//! samples where every sample runs enough iterations to exceed ~5 ms; the
+//! median, minimum and mean sample time per iteration are reported on stdout.
+//! No statistical outlier analysis, plots or baseline files are produced.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost.  The shim runs one setup per
+/// measured routine invocation regardless of the variant, so the variants are
+/// accepted (for API compatibility) but equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    per_iter: Duration,
+}
+
+/// The measurement context handed to a benchmark closure.
+pub struct Bencher {
+    samples: Vec<Sample>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time a routine, excluding nothing: the closure is the measured unit.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that runs ≥ ~5 ms.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max((iters as f64 * 6e-3 / elapsed.as_secs_f64().max(1e-9)) as u64);
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(Sample {
+                per_iter: t0.elapsed() / iters as u32,
+            });
+        }
+    }
+
+    /// Time a routine whose input is rebuilt by `setup` outside the measured
+    /// region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(Sample {
+                per_iter: t0.elapsed(),
+            });
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut times: Vec<Duration> = bencher.samples.iter().map(|s| s.per_iter).collect();
+    if times.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{id:<40} time: [median {} | min {} | mean {}]",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean)
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Define and run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 10, &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest_batched");
+        group.sample_size(2);
+        group.bench_function("vec_drain", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline property-testing shim mirroring the subset of `proptest` this
+//! workspace uses (see `shims/README.md` for why external crates are shimmed).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with `ident: Type` and `ident in strategy`
+//!   parameters (mixed freely) and an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * `any::<T>()` for the integer primitives, `bool` and `f64`,
+//! * integer range strategies (`lo..hi`, `lo..=hi`),
+//! * [`collection::vec`].
+//!
+//! Differences from real proptest, deliberately accepted for an offline test
+//! dependency: failing inputs are **not shrunk** (the failing case is printed
+//! verbatim instead), and case generation is seeded deterministically from the
+//! test name so CI runs are reproducible.  Integer strategies oversample edge
+//! values (min/0/1/max) the way proptest's binary search tends to surface
+//! them.
+
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving case generation.
+pub type TestRng = ChaCha8Rng;
+
+/// Deterministic per-test RNG: seeded from the test's name, overridable with
+/// the `PROPTEST_SEED` environment variable for exploratory runs.
+pub fn test_rng(test_name: &str) -> TestRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            return TestRng::seed_from_u64(seed);
+        }
+    }
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A failed property-test assertion (returned, not panicked, so the harness
+/// can attach the generated inputs before panicking).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Record a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing any value of `T` (the shim's `any`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Oversample edges: real proptest's shrinking surfaces these;
+                // without shrinking we have to draw them often enough to hit
+                // boundary bugs directly.
+                match rng.gen_range(0u32..8) {
+                    0 => match rng.gen_range(0u32..4) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        _ => 1 as $t,
+                    },
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Bias towards the endpoints for the same reason.
+                if rng.gen_range(0u32..8) == 0 {
+                    if rng.gen::<bool>() { self.start } else { self.end - 1 }
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                if rng.gen_range(0u32..8) == 0 {
+                    if rng.gen::<bool>() { *self.start() } else { *self.end() }
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.gen_range(0u32..8) {
+            0 => *[0.0, 1.0, -1.0, f64::MIN_POSITIVE, f64::MAX]
+                .get(rng.gen_range(0usize..5))
+                .unwrap(),
+            _ => {
+                // Scale a unit sample across a wide dynamic range.
+                let mag = rng.gen::<f64>() * 2.0 - 1.0;
+                let exp = rng.gen_range(-64i32..64) as f64;
+                mag * exp.exp2()
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy yielding both booleans uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.gen()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy for `Vec<T>` with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: each case draws a length from `size` and fills it with
+    /// samples from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// Re-export so `proptest::collection::vec` paths resolve through the
+    /// prelude glob as well.
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Define property tests.
+///
+/// Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(a: u8, len in 1usize..40) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` item of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__proptest_case!{ ($cfg, stringify!($name), $body) () $($params)* }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: munch the parameter list into `(ident, strategy)` pairs, then
+/// emit the case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Done munching: run the cases.
+    (($cfg:expr, $name:expr, $body:block) ($(($id:ident, $strat:expr))*)) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        let mut rng = $crate::test_rng($name);
+        for case in 0..config.cases {
+            $(let $id = $crate::Strategy::sample(&($strat), &mut rng);)*
+            let inputs = {
+                let mut s = ::std::string::String::new();
+                $(
+                    s.push_str(concat!(stringify!($id), " = "));
+                    s.push_str(&format!("{:?}, ", $id));
+                )*
+                s
+            };
+            let result: ::core::result::Result<(), $crate::TestCaseError> =
+                (move || { $body ::core::result::Result::Ok(()) })();
+            if let ::core::result::Result::Err(e) = result {
+                panic!(
+                    "proptest {} failed at case {}/{}:\n{}\ninputs: {}",
+                    $name, case + 1, config.cases, e, inputs
+                );
+            }
+        }
+    }};
+    // `ident in strategy`
+    (($($ctx:tt)*) ($($acc:tt)*) $id:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!{ ($($ctx)*) ($($acc)* ($id, $strat)) $($rest)* }
+    };
+    (($($ctx:tt)*) ($($acc:tt)*) $id:ident in $strat:expr) => {
+        $crate::__proptest_case!{ ($($ctx)*) ($($acc)* ($id, $strat)) }
+    };
+    // `ident: Type`
+    (($($ctx:tt)*) ($($acc:tt)*) $id:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!{ ($($ctx)*) ($($acc)* ($id, $crate::any::<$t>())) $($rest)* }
+    };
+    (($($ctx:tt)*) ($($acc:tt)*) $id:ident : $t:ty) => {
+        $crate::__proptest_case!{ ($($ctx)*) ($($acc)* ($id, $crate::any::<$t>())) }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_work(a: u8, b: u16) {
+            prop_assert!(u32::from(a) <= 255 && u32::from(b) <= 65_535);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn strategy_params_work(x in 3usize..10, y in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn mixed_params_and_vec(seed: u64, data in collection::vec(any::<u8>(), 0..50)) {
+            prop_assert!(data.len() < 50);
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            // No #[test] attribute here: the fn is invoked directly below.
+            proptest! {
+                fn always_fails(v in 0u32..10) {
+                    prop_assert!(v > 100, "v was {}", v);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "message: {msg}");
+        assert!(msg.contains("inputs"), "message: {msg}");
+    }
+
+    #[test]
+    fn edge_values_are_oversampled() {
+        let mut rng = crate::test_rng("edges");
+        let mut saw_max = false;
+        for _ in 0..500 {
+            if u64::arbitrary(&mut rng) == u64::MAX {
+                saw_max = true;
+            }
+        }
+        assert!(saw_max, "500 draws should hit u64::MAX via edge bias");
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha8 stream cipher used as a
+//! deterministic RNG.
+//!
+//! The workspace builds without network access (see `shims/README.md`), so
+//! this crate provides the one type the code uses — [`ChaCha8Rng`] — backed by
+//! a faithful ChaCha8 core (Bernstein's quarter-round over a 16-word state,
+//! 8 rounds).  Seeding expands a 64-bit seed to a 256-bit key with SplitMix64,
+//! matching the *shape* of `SeedableRng::seed_from_u64` upstream; the streams
+//! are not bit-identical to upstream `rand_chacha` (nothing in the workspace
+//! depends on that — all experiments are calibrated against these shims).
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, exposed as a random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (words 4..12 of the ChaCha state).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14) — the nonce words stay zero.
+    counter: u64,
+    /// Current 64-byte keystream block.
+    block: [u32; 16],
+    /// Next unread 32-bit word within `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14], state[15]: nonce, fixed at zero.
+        let input = state;
+        for _ in 0..4 {
+            // Two rounds per iteration: one column round, one diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            // SplitMix64 expansion, one u64 per pair of key words.
+            let mut z = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            sm = z;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_blocks_differ() {
+        // 16 words per block: consecutive blocks must not repeat.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let b1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let b2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn bytes_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 256];
+        let n = 1 << 18;
+        for _ in 0..n / 4 {
+            for b in rng.next_u32().to_le_bytes() {
+                counts[b as usize] += 1;
+            }
+        }
+        let expected = n / 256;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.2,
+                "byte {b} count {c}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = rng.gen::<u64>();
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

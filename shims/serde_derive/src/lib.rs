@@ -1,0 +1,320 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the in-tree serde shim
+//! (see `shims/README.md`).
+//!
+//! Implemented without `syn`/`quote`: the derive input is walked as a raw
+//! token stream, which is sufficient because the supported shapes are exactly
+//! the ones this workspace defines —
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit or struct variants.
+//!
+//! Tuple structs, tuple variants and generic types are rejected with a
+//! compile-time error.  Field *types* never need to be parsed: the generated
+//! code calls `serde::Deserialize::from_value` in struct-literal position and
+//! lets inference pick the impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Option<Vec<String>>)>,
+    },
+}
+
+/// Split a token stream into trees, dropping outer attributes (`#[...]`).
+fn significant_tokens(input: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '#' {
+                // Attribute: swallow the following [...] group (and a `!` for
+                // inner attributes, which cannot appear here anyway).
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        iter.next();
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(tt);
+    }
+    out
+}
+
+/// Parse `name: Type` field lists from a brace-group body, returning the
+/// field names in declaration order.
+fn parse_named_fields(group: TokenStream, context: &str) -> Vec<String> {
+    let tokens = significant_tokens(group);
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Optional visibility.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde shim derive: unexpected token `{other}` in {context}"),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!(
+                "serde shim derive: {context} must use named fields (tuple shapes are unsupported)"
+            ),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parse enum variants: `Unit` or `Name { fields }`.
+fn parse_variants(group: TokenStream, context: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let tokens = significant_tokens(group);
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: unexpected token `{other}` in {context}"),
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_named_fields(g.stream(), context));
+                    i += 1;
+                }
+                Delimiter::Parenthesis => panic!(
+                    "serde shim derive: tuple variant `{name}` in {context} is unsupported; use a struct variant"
+                ),
+                _ => {}
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens = significant_tokens(input);
+    let mut i = 0;
+    // Optional visibility.
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde shim derive: generic type `{name}` is unsupported (no generic types in this workspace derive serde traits)"
+        ),
+        other => panic!(
+            "serde shim derive: `{name}` has no braced body ({other:?}); unit and tuple shapes are unsupported"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            fields: parse_named_fields(body, &format!("struct {name}")),
+            name,
+        },
+        "enum" => Shape::Enum {
+            variants: parse_variants(body, &format!("enum {name}")),
+            name,
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn field_object_expr(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("::serde::Value::Object(::std::vec![");
+    for f in fields {
+        let _ = write!(
+            s,
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({access_prefix}{f})),"
+        );
+    }
+    s.push_str("])");
+    s
+}
+
+fn field_struct_literal(fields: &[String], obj_var: &str) -> String {
+    let mut s = String::from("{");
+    for f in fields {
+        let _ = write!(
+            s,
+            "{f}: ::serde::Deserialize::from_value(::serde::get_field({obj_var}, \"{f}\")?)?,"
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// Derive `serde::Serialize` (value-tree flavour; see the serde shim docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let body = field_object_expr(&fields, "&self.");
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (variant, fields) in &variants {
+                match fields {
+                    None => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{variant} => ::serde::Value::String(::std::string::String::from(\"{variant}\")),"
+                        );
+                    }
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner = field_object_expr(fields, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{variant} {{ {bindings} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{variant}\"), {inner})\
+                             ]),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde shim derive generated invalid Rust")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour; see the serde shim docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let literal = field_struct_literal(&fields, "fields");
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                         let fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\
+                         ::std::result::Result::Ok({name} {literal})\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut struct_arms = String::new();
+            for (variant, fields) in &variants {
+                match fields {
+                    None => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                        );
+                    }
+                    Some(fields) => {
+                        let literal = field_struct_literal(fields, "fields");
+                        let _ = write!(
+                            struct_arms,
+                            "\"{variant}\" => {{\
+                                 let fields = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object body for variant {variant} of {name}\"))?;\
+                                 ::std::result::Result::Ok({name}::{variant} {literal})\
+                             }},"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match value {{\
+                             ::serde::Value::String(tag) => match tag.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown unit variant `{{other}}` of {name}\"))),\
+                             }},\
+                             ::serde::Value::Object(tagged) if tagged.len() == 1 => {{\
+                                 let (tag, inner) = &tagged[0];\
+                                 let _ = inner;\
+                                 match tag.as_str() {{\
+                                     {struct_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown struct variant `{{other}}` of {name}\"))),\
+                                 }}\
+                             }},\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")),\
+                         }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde shim derive generated invalid Rust")
+}

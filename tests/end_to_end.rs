@@ -46,7 +46,11 @@ fn prototype_distributes_a_file_to_heterogeneous_clients() {
     }
     for (c, &loss) in clients.iter().zip(&losses) {
         assert!(c.is_complete(), "client behind {loss} loss never finished");
-        assert_eq!(c.file().unwrap(), &data[..], "client behind {loss} loss got corrupted data");
+        assert_eq!(
+            c.file().unwrap(),
+            &data[..],
+            "client behind {loss} loss got corrupted data"
+        );
         // Every client keeps a sensible efficiency even at 40 % loss.
         assert!(c.stats().reception_efficiency() > 0.3);
     }
@@ -72,7 +76,15 @@ fn tornado_b_code_roundtrips_through_packetized_files() {
 fn tornado_scales_with_receivers_better_than_interleaving() {
     // The headline of Figures 4 and 5: at high loss the interleaved scheme's
     // worst-case receiver collapses while Tornado's efficiency stays flat.
-    let k = 500;
+    //
+    // The file must be large enough for the claim to hold in the *worst case*
+    // over 30 trials: at k = 500 a Tornado graph's stopping-set tail is fat
+    // enough that unlucky (graph seed, reception order) pairs lose to
+    // interleaving, and which seeds are unlucky depends on the RNG stream (the
+    // in-tree rand shims produce different streams than upstream rand).  At
+    // k = 2000 — closer to the paper's Figure 4/5 file sizes — the worst-case
+    // margin is comfortably positive for every graph seed probed.
+    let k = 2000;
     let tornado = TornadoCode::new_a(k, 9).unwrap();
     let interleaved = InterleavedCode::new(k, 20, 2.0).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(11);
