@@ -103,6 +103,30 @@ pub fn measure_vandermonde(k: usize, packet_size: usize) -> CodingTimes {
     CodingTimes { encode_s, decode_s }
 }
 
+/// Measure the Vandermonde code decoding **repeatedly behind one erasure
+/// pattern**: the first decode pays the `O(k³)` inversion of the received
+/// submatrix (and populates the per-pattern inverse cache), the timed second
+/// decode reuses it — the steady state of a receiver decoding a carousel
+/// behind a stable loss process.
+///
+/// Encode time is measured as in [`measure_vandermonde`].
+pub fn measure_vandermonde_repeated(k: usize, packet_size: usize) -> CodingTimes {
+    let source = random_packets(k, packet_size, 0x7a);
+    let code = VandermondeCode::new_large(k, 2 * k).expect("parameters");
+    let t0 = Instant::now();
+    let encoding = code.encode(&source).expect("encode");
+    let encode_s = t0.elapsed().as_secs_f64();
+    let rx = half_and_half(2 * k, k, &encoding);
+    let refs: Vec<(usize, &[u8])> = rx.iter().map(|(i, p)| (*i, p.as_slice())).collect();
+    let mut out = Vec::new();
+    code.decode_into(&refs, &mut out).expect("warm-up decode");
+    let t0 = Instant::now();
+    code.decode_into(&refs, &mut out).expect("repeat decode");
+    let decode_s = t0.elapsed().as_secs_f64();
+    assert_eq!(out, source);
+    CodingTimes { encode_s, decode_s }
+}
+
 /// Measure the per-block Cauchy decode time for interleaved-code estimates
 /// (Table 4): a block of `block_k` source packets, half received from each
 /// side.
@@ -122,7 +146,8 @@ pub fn measure_cauchy_block_decode(block_k: usize, packet_size: usize) -> f64 {
 /// benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
-    /// Code name ("tornado_a", "tornado_b", "cauchy", "vandermonde").
+    /// Code name ("tornado_a", "tornado_b", "cauchy", "vandermonde",
+    /// "vandermonde_repeat").
     pub code: &'static str,
     /// Measured wall-clock times.
     pub times: CodingTimes,
@@ -133,8 +158,10 @@ pub struct ThroughputRow {
     pub decode_mbps: f64,
 }
 
-/// Measure all four codes of Tables 2/3 at one operating point and return the
-/// rows of the machine-readable report.
+/// Measure all four codes of Tables 2/3 at one operating point — plus the
+/// repeated-pattern Vandermonde decode, which isolates the per-pattern
+/// inverse cache from the one-off `O(k³)` inversion — and return the rows of
+/// the machine-readable report.
 pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
     let file_mb = (k * packet_size) as f64 / 1e6;
     let row = |code: &'static str, times: CodingTimes| ThroughputRow {
@@ -154,6 +181,10 @@ pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
         ),
         row("cauchy", measure_cauchy(k, packet_size)),
         row("vandermonde", measure_vandermonde(k, packet_size)),
+        row(
+            "vandermonde_repeat",
+            measure_vandermonde_repeated(k, packet_size),
+        ),
     ]
 }
 
@@ -171,6 +202,10 @@ pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
     out.push_str(&format!(
         "  \"gf8_kernel\": \"{}\",\n",
         df_gf::kernels::active_kernel()
+    ));
+    out.push_str(&format!(
+        "  \"gf16_kernel\": \"{}\",\n",
+        df_gf::kernels::gf16::active_kernel()
     ));
     out.push_str("  \"codes\": {\n");
     for (i, r) in rows.iter().enumerate() {
@@ -214,7 +249,9 @@ mod tests {
     fn rs_measurements_roundtrip() {
         let c = measure_cauchy(64, 64);
         let v = measure_vandermonde(64, 64);
+        let vr = measure_vandermonde_repeated(64, 64);
         assert!(c.encode_s > 0.0 && v.encode_s > 0.0);
+        assert!(vr.decode_s > 0.0);
         assert!(measure_cauchy_block_decode(20, 64) > 0.0);
     }
 

@@ -45,6 +45,7 @@ fn main() {
                     stretch_factor: 2.0,
                     final_level_threshold: 400,
                     final_level_divisor: 8,
+                    prefer_gf8_final: true,
                 },
             ));
         }
@@ -60,6 +61,7 @@ fn main() {
                     stretch_factor: 2.0,
                     final_level_threshold: 400,
                     final_level_divisor: 8,
+                    prefer_gf8_final: true,
                 },
             ));
         }
@@ -73,6 +75,7 @@ fn main() {
             stretch_factor: 2.0,
             final_level_threshold: 400,
             final_level_divisor: 8,
+            prefer_gf8_final: true,
         },
     ));
 

@@ -41,15 +41,27 @@ pub enum PacketRole {
     },
 }
 
+/// Largest final-code block (last level + its checks) that still fits in
+/// GF(2^8) — the field order, since the Cauchy construction needs `n`
+/// distinct field points.
+const GF8_FINAL_MAX: usize = 256;
+
 /// The final conventional code protecting the last cascade level.
 ///
-/// Small codes (≤ 256 packets) use GF(2^8); larger ones GF(2^16).
+/// Small codes (≤ 256 packets) use GF(2^8); larger ones GF(2^16).  GF(2^16)
+/// works on 16-bit elements, so for odd packet lengths the `Large` variant
+/// transparently pads: level packets get one zero byte during encode/decode,
+/// and each transmitted check packet carries one extra padding byte plus a
+/// trailing zero marker byte (making check packets two bytes longer, and —
+/// crucially — of *odd* total length, so a decoder holding only check packets
+/// can still reconstruct the original packet length unambiguously: even-length
+/// checks mean an even-length block, odd-length checks mean `len + 2`).
 #[derive(Debug, Clone)]
 pub enum FinalCode {
     /// GF(2^8) Cauchy code, used when the final block fits in 256 packets.
     Small(CauchyCode),
-    /// GF(2^16) Cauchy code for larger final blocks.  Requires even packet
-    /// lengths.
+    /// GF(2^16) Cauchy code for larger final blocks.  Odd packet lengths are
+    /// handled by the padding scheme described on the type.
     Large(CauchyCode<GF65536>),
 }
 
@@ -91,11 +103,32 @@ impl FinalCode {
 
     /// Encode the last cascade level, returning only the check packets.
     ///
-    /// The systematic prefix is split off (buffers moved, not copied).
+    /// The systematic prefix is split off (buffers moved, not copied).  For a
+    /// GF(2^16) final code and odd packet lengths, level packets are padded
+    /// with one zero byte before encoding and each check packet is returned
+    /// with an additional trailing zero marker byte (total length `len + 2`,
+    /// odd); see the type-level docs for why.
     pub fn encode_checks(&self, level: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let len = level.first().map(|p| p.len()).unwrap_or(0);
         let mut full = match self {
             FinalCode::Small(c) => c.encode(level)?,
-            FinalCode::Large(c) => c.encode(level)?,
+            FinalCode::Large(c) if len.is_multiple_of(2) => c.encode(level)?,
+            FinalCode::Large(c) => {
+                let padded: Vec<Vec<u8>> = level
+                    .iter()
+                    .map(|p| {
+                        let mut q = Vec::with_capacity(p.len() + 2);
+                        q.extend_from_slice(p);
+                        q.push(0);
+                        q
+                    })
+                    .collect();
+                let mut enc = c.encode(&padded)?;
+                for check in &mut enc[self.k()..] {
+                    check.push(0);
+                }
+                enc
+            }
         };
         Ok(full.split_off(self.k()))
     }
@@ -105,19 +138,98 @@ impl FinalCode {
     /// `received` uses indices local to the final block: `0..k` are last-level
     /// packets, `k..n` are its check packets.
     pub fn decode(&self, received: &[(usize, Vec<u8>)]) -> Result<Vec<Vec<u8>>> {
-        Ok(match self {
-            FinalCode::Small(c) => c.decode(received)?,
-            FinalCode::Large(c) => c.decode(received)?,
-        })
+        let refs: Vec<(usize, &[u8])> = received
+            .iter()
+            .map(|(idx, payload)| (*idx, payload.as_slice()))
+            .collect();
+        self.decode_ref(&refs)
     }
 
     /// Borrowing variant of [`FinalCode::decode`]: payloads are copied at most
     /// once, into their decoded positions.
+    ///
+    /// Handles the odd-length padding scheme of [`FinalCode::encode_checks`]
+    /// transparently: level packets are re-padded, check packets have their
+    /// marker byte stripped, and the decoded level is truncated back to the
+    /// original packet length.
     pub fn decode_ref(&self, received: &[(usize, &[u8])]) -> Result<Vec<Vec<u8>>> {
-        Ok(match self {
-            FinalCode::Small(c) => c.decode_ref(received)?,
-            FinalCode::Large(c) => c.decode_ref(received)?,
-        })
+        let c = match self {
+            FinalCode::Small(c) => return Ok(c.decode_ref(received)?),
+            FinalCode::Large(c) => c,
+        };
+        // Reconstruct the level-packet length: directly from any level packet
+        // (local index < k), else from a check packet — whose length is `len`
+        // for even-length blocks and `len + 2` (odd) for padded odd-length
+        // blocks, so the parity of the check length disambiguates.
+        let k = c.k();
+        let len = match (received.iter().find(|&&(idx, _)| idx < k), received.first()) {
+            (Some(&(_, p)), _) => Some(p.len()),
+            (None, Some(&(idx, p))) if p.len() % 2 == 1 => {
+                // An odd check length means `level_len + 2`; anything shorter
+                // than the marker scheme allows is a corrupt packet, not a
+                // decodable block.
+                let Some(l) = p.len().checked_sub(2) else {
+                    return Err(TornadoError::MalformedInput {
+                        reason: format!(
+                            "final-block check packet {idx} has length {}, \
+                             too short for the odd-length marker scheme",
+                            p.len()
+                        ),
+                    });
+                };
+                Some(l)
+            }
+            (None, Some(&(_, p))) => Some(p.len()),
+            (None, None) => None,
+        };
+        let Some(len) = len else {
+            // No packets at all: let the inner decoder report NotEnoughPackets.
+            return Ok(c.decode_ref(received)?);
+        };
+        if len % 2 == 0 {
+            return Ok(c.decode_ref(received)?);
+        }
+        // Odd-length block: normalize everything to `len + 1`, decode, strip.
+        let padded_len = len + 1;
+        for &(idx, p) in received {
+            let expect = if idx < k { len } else { len + 2 };
+            if p.len() != expect {
+                return Err(TornadoError::MalformedInput {
+                    reason: format!(
+                        "final-block packet {idx} has length {}, expected {expect}",
+                        p.len()
+                    ),
+                });
+            }
+        }
+        let padded_levels: Vec<Vec<u8>> = received
+            .iter()
+            .filter(|&&(idx, _)| idx < k)
+            .map(|&(_, p)| {
+                let mut q = Vec::with_capacity(padded_len);
+                q.extend_from_slice(p);
+                q.push(0);
+                q
+            })
+            .collect();
+        let mut level_i = 0;
+        let refs: Vec<(usize, &[u8])> = received
+            .iter()
+            .map(|&(idx, p)| {
+                if idx < k {
+                    let r = (idx, padded_levels[level_i].as_slice());
+                    level_i += 1;
+                    r
+                } else {
+                    (idx, &p[..padded_len])
+                }
+            })
+            .collect();
+        let mut out = c.decode_ref(&refs)?;
+        for p in &mut out {
+            p.truncate(len);
+        }
+        Ok(out)
     }
 }
 
@@ -177,11 +289,21 @@ impl Cascade {
         // level is still above the threshold and enough redundancy budget
         // remains for the final code to have at least as many check packets as
         // would keep its rate at or below the cascade's.
+        //
+        // When the profile prefers a GF(2^8) final code, cascading continues
+        // past the threshold until the final block (last level plus the
+        // remaining check budget) fits in 256 packets, the largest code
+        // GF(2^8) can address.  The budget guard (`remaining > next`) still
+        // applies, so a profile whose threshold demands a large final block —
+        // or a stretch factor that leaves no room for further levels — falls
+        // back to GF(2^16) rather than starving the final code.
         let mut level_sizes = vec![k];
         let mut remaining = redundancy;
         loop {
             let cur = *level_sizes.last().expect("at least the source level");
-            if cur <= threshold {
+            let want_more =
+                cur > threshold || (profile.prefer_gf8_final && cur + remaining > GF8_FINAL_MAX);
+            if !want_more {
                 break;
             }
             let next = ((cur as f64) * beta).ceil() as usize;
@@ -435,6 +557,17 @@ mod tests {
                 "k = {k}: final level {fk} packets but only {checks} checks"
             );
         }
+    }
+
+    #[test]
+    fn truncated_odd_check_packet_errors_instead_of_panicking() {
+        // A 1-byte check packet is shorter than the odd-length marker scheme
+        // allows; length inference must reject it as malformed, not underflow.
+        let c = Cascade::build(2000, TORNADO_B, 5).unwrap();
+        assert!(c.final_code().n() > 256, "premise: GF(2^16) final");
+        let k = c.final_code().k();
+        let result = c.final_code().decode_ref(&[(k, &[0u8][..])]);
+        assert!(matches!(result, Err(TornadoError::MalformedInput { .. })));
     }
 
     #[test]

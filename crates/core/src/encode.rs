@@ -14,12 +14,15 @@ use df_gf::field::xor_slice;
 /// Produce the full encoding of `source`: `n` packets whose first `k` are the
 /// source packets themselves (the code is systematic).
 ///
+/// Any packet length works: a GF(2^16) final block pads odd-length packets
+/// internally (its check packets then carry two extra bytes; see
+/// [`crate::cascade::FinalCode`]).
+///
 /// # Errors
 ///
 /// Returns [`TornadoError::MalformedInput`] if the source packet count does
 /// not match the cascade's `k` or the packets have inconsistent lengths, and
-/// propagates final-code errors (e.g. odd packet length with a GF(2^16) final
-/// block).
+/// propagates final-code errors.
 pub fn encode(cascade: &Cascade, source: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
     if source.len() != cascade.k() {
         return Err(TornadoError::MalformedInput {
@@ -128,14 +131,31 @@ mod tests {
     }
 
     #[test]
-    fn odd_packet_length_errors_for_large_final_block() {
-        // A cascade whose final block exceeds 256 packets uses GF(2^16) and
-        // therefore requires even packet lengths; the error must be explicit.
-        let cascade = Cascade::build(8000, TORNADO_A, 5).unwrap();
-        assert!(cascade.final_code().n() > 256);
-        let src = random_source(8000, 7, 5);
-        assert!(encode(&cascade, &src).is_err());
-        let src_even = random_source(8000, 8, 5);
-        assert!(encode(&cascade, &src_even).is_ok());
+    fn odd_packet_length_round_trips_through_large_final_block() {
+        // A cascade whose final block exceeds 256 packets uses GF(2^16);
+        // odd packet lengths used to hard-error here, and must now be handled
+        // transparently by the final code's padding scheme.
+        use crate::decode::{AddOutcome, PayloadDecoder};
+        use rand::seq::SliceRandom;
+
+        let cascade = Cascade::build(2000, crate::profile::TORNADO_B, 5).unwrap();
+        assert!(cascade.final_code().n() > 256, "premise: GF(2^16) final");
+        let src = random_source(2000, 7, 5);
+        let enc = encode(&cascade, &src).expect("odd lengths must encode");
+        // Cascade-level packets keep the original length; GF(2^16) check
+        // packets carry the two padding/marker bytes.
+        assert!(enc[..cascade.rs_offset()].iter().all(|p| p.len() == 7));
+        assert!(enc[cascade.rs_offset()..].iter().all(|p| p.len() == 9));
+
+        let mut order: Vec<usize> = (0..cascade.n()).collect();
+        order.shuffle(&mut ChaCha8Rng::seed_from_u64(55));
+        let mut dec = PayloadDecoder::new(&cascade);
+        for &i in &order {
+            if dec.add_packet_ref(i, &enc[i]).unwrap() == AddOutcome::Complete {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        assert_eq!(dec.source().unwrap(), src);
     }
 }

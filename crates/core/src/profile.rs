@@ -41,6 +41,14 @@ pub struct TornadoProfile {
     /// `k / final_level_divisor` so that the Reed–Solomon block keeps good
     /// concentration for large files without dominating decode time.
     pub final_level_divisor: usize,
+    /// When true, [`crate::Cascade`] keeps cascading past the threshold while
+    /// the final Reed–Solomon block would exceed 256 packets and the
+    /// redundancy budget still allows another level, so the final code stays
+    /// in GF(2^8) — whose slice kernels are the fastest in the workspace —
+    /// instead of spilling into GF(2^16).  Profiles whose *point* is a large
+    /// MDS tail (Tornado B) leave this off and take the (also vectorized, but
+    /// inherently slower) GF(2^16) path.
+    pub prefer_gf8_final: bool,
 }
 
 impl TornadoProfile {
@@ -48,11 +56,19 @@ impl TornadoProfile {
     ///
     /// Calibration (see `examples/calibrate.rs` and EXPERIMENTS.md): heavy-tail
     /// `D = 8` graphs, right-regular check degrees, low-degree-node
-    /// conditioning, and an MDS tail of `max(400, k/16)` packets.  Measured
+    /// conditioning, and a `max(400, k/16)` cascade-stop threshold.  Measured
     /// mean reception overhead is ≈ 0.12 at 2 MB files and ≈ 0.094 at 16 MB
     /// files with a short tail (maximum ≈ 0.15).  This is roughly twice the
     /// overhead the paper reports for its hand-optimised (unpublished) Tornado
     /// A sequences; the gap and its cause are discussed in EXPERIMENTS.md.
+    ///
+    /// Field-selection recalibration: with `prefer_gf8_final` set, the
+    /// cascade continues past the threshold until the final Reed–Solomon
+    /// block fits in 256 packets, so A's final code runs over GF(2^8) at
+    /// every file size.  Before this recalibration the final block sat just
+    /// above 256 packets for typical `k` (e.g. 500 at `k = 1000`), forcing
+    /// GF(2^16) and making the MDS tail — a few percent of the packets —
+    /// dominate whole-file encode time (see BENCH_pr1.json).
     pub const fn tornado_a() -> Self {
         TornadoProfile {
             name: "tornado-a",
@@ -61,6 +77,7 @@ impl TornadoProfile {
             stretch_factor: 2.0,
             final_level_threshold: 400,
             final_level_divisor: 16,
+            prefer_gf8_final: true,
         }
     }
 
@@ -83,6 +100,7 @@ impl TornadoProfile {
             stretch_factor: 2.0,
             final_level_threshold: 1000,
             final_level_divisor: 6,
+            prefer_gf8_final: false,
         }
     }
 

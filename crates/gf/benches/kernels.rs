@@ -65,16 +65,43 @@ fn xor(c: &mut Criterion) {
 }
 
 fn gf16_mul_acc(c: &mut Criterion) {
+    println!("dispatched gf16 kernel: {}", kernels::gf16::active_kernel());
     let src = payload(6);
     let mut dst = payload(7);
-    let coeff = GF65536(0x1234);
+    let coeff = 0x1234u16;
     let mut group = c.benchmark_group("gf16_mul_acc_1KiB");
     group.sample_size(50);
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| kernels::gf16::scalar::mul_acc_slice(coeff, &mut dst, &src))
+    });
     group.bench_function("split_byte_tables", |b| {
-        b.iter(|| GF65536::mul_acc_slice(coeff, &mut dst, &src))
+        b.iter(|| kernels::gf16::split_byte::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function("swar", |b| {
+        b.iter(|| kernels::gf16::swar::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function(&format!("auto_{}", kernels::gf16::active_kernel()), |b| {
+        b.iter(|| kernels::gf16::mul_acc_slice(coeff, &mut dst, &src))
+    });
+    group.bench_function("field_entry_point", |b| {
+        b.iter(|| GF65536::mul_acc_slice(GF65536(coeff), &mut dst, &src))
     });
     group.finish();
 }
 
-criterion_group!(benches, gf8_mul_acc, gf8_mul, xor, gf16_mul_acc);
+fn gf16_mul(c: &mut Criterion) {
+    let mut data = payload(8);
+    let coeff = 0xabcdu16;
+    let mut group = c.benchmark_group("gf16_mul_1KiB");
+    group.sample_size(50);
+    group.bench_function("split_byte_tables", |b| {
+        b.iter(|| kernels::gf16::split_byte::mul_slice(coeff, &mut data))
+    });
+    group.bench_function(&format!("auto_{}", kernels::gf16::active_kernel()), |b| {
+        b.iter(|| kernels::gf16::mul_slice(coeff, &mut data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gf8_mul_acc, gf8_mul, xor, gf16_mul_acc, gf16_mul);
 criterion_main!(benches);

@@ -42,7 +42,12 @@ pub trait Field:
 
     /// Construct an element from its canonical integer representation.
     ///
-    /// Values are reduced modulo [`Self::ORDER`].
+    /// # Panics
+    ///
+    /// Panics if `value >= ORDER`.  Erasure-code constructions map packet
+    /// indices to distinct field points through this function; silently
+    /// wrapping an out-of-range value would alias points and destroy the MDS
+    /// ("any k of n") property, so out-of-range input is a caller bug.
     fn from_usize(value: usize) -> Self;
 
     /// The canonical integer representation of this element.

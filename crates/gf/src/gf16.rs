@@ -4,13 +4,12 @@
 //!
 //! Elements are `u16`.  The full multiplication table would be 8 GiB, so
 //! scalar multiplication goes through 64 K-entry log/exp tables.  The *slice*
-//! kernels instead build two 256-entry split-byte product tables per call —
-//! `TLO[b] = c·b` and `THI[b] = c·(b << 8)`, so `c·x = TLO[x & 0xff] ⊕
-//! THI[x >> 8]` — which removes the per-element zero branch and log addition
-//! of the log/exp path and keeps the working set at 1 KiB.  The tables are
-//! filled with a subset-XOR dynamic program (16 field doublings + 512 XORs),
-//! cheap enough that even one 1 KiB packet amortizes it; slices below a small
-//! cutoff keep the direct log/exp loop.
+//! operations — the erasure-code hot loop — are delegated to
+//! [`crate::kernels::gf16`], which dispatches at runtime between 4-nibble
+//! `pshufb` SIMD tiers (AVX2 / SSSE3), a SWAR tail tier, the split-byte
+//! product-table fallback, and a direct log/exp loop for short slices.  See
+//! that module's documentation for the tier details; all tiers are verified
+//! bit-identical against the element-wise log/exp definition here.
 
 // In characteristic 2, addition and subtraction genuinely are XOR.
 #![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
@@ -19,17 +18,19 @@ use crate::field::Field;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 use std::sync::OnceLock;
 
-/// Primitive polynomial x^16 + x^12 + x^3 + x + 1.
-const PRIM_POLY: u32 = 0x1100b;
+/// Primitive polynomial x^16 + x^12 + x^3 + x + 1.  Shared with the slice
+/// kernels in [`crate::kernels::gf16`], which rebuild per-coefficient tables
+/// from it.
+pub(crate) const PRIM_POLY: u32 = 0x1100b;
 
-struct Tables {
+pub(crate) struct Tables {
     /// `exp[i] = g^i`, doubled (131070 entries) to avoid a modulo in mul.
-    exp: Vec<u16>,
+    pub(crate) exp: Vec<u16>,
     /// `log[x]`; `log[0]` unused.
-    log: Vec<u32>,
+    pub(crate) log: Vec<u32>,
 }
 
-fn tables() -> &'static Tables {
+pub(crate) fn tables() -> &'static Tables {
     static TABLES: OnceLock<Tables> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut exp = vec![0u16; 2 * 65535 + 2];
@@ -48,53 +49,6 @@ fn tables() -> &'static Tables {
         }
         Tables { exp, log }
     })
-}
-
-/// Slices shorter than this keep the direct log/exp element loop; longer ones
-/// amortize building the split-byte product tables.  64 bytes = 32 elements,
-/// roughly where the ~530-operation table build breaks even against the
-/// saved per-element branch and log addition.
-const SPLIT_TABLE_CUTOFF_BYTES: usize = 64;
-
-/// Split-byte product tables for a fixed coefficient:
-/// `c·x = lo[x & 0xff] ⊕ hi[x >> 8]`.
-struct ProductTables {
-    lo: [u16; 256],
-    hi: [u16; 256],
-}
-
-impl ProductTables {
-    /// Build by subset-XOR dynamic programming: compute `c·x^i` for the 16
-    /// bit positions by repeated doubling, then extend each table from the
-    /// single-bit entries (`table[b | bit] = table[bit] ⊕ table[b]`).
-    fn build(coeff: u16) -> Self {
-        let mut pow = [0u16; 16];
-        let mut v = coeff as u32;
-        for p in pow.iter_mut() {
-            *p = v as u16;
-            v <<= 1;
-            if v & 0x10000 != 0 {
-                v ^= PRIM_POLY;
-            }
-        }
-        let mut t = ProductTables {
-            lo: [0; 256],
-            hi: [0; 256],
-        };
-        for i in 0..8 {
-            let bit = 1usize << i;
-            for b in 0..bit {
-                t.lo[bit | b] = pow[i] ^ t.lo[b];
-                t.hi[bit | b] = pow[i + 8] ^ t.hi[b];
-            }
-        }
-        t
-    }
-
-    #[inline(always)]
-    fn mul(&self, x: u16) -> u16 {
-        self.lo[(x & 0xff) as usize] ^ self.hi[(x >> 8) as usize]
-    }
 }
 
 /// An element of GF(2^16).
@@ -184,7 +138,14 @@ impl Field for GF65536 {
     const ORDER: usize = 65536;
 
     fn from_usize(value: usize) -> Self {
-        GF65536((value % 65536) as u16)
+        // Wrapping here would silently alias field points — a Cauchy code
+        // constructed with out-of-range points would lose its MDS property
+        // without any error.  Fail loudly instead.
+        assert!(
+            value < Self::ORDER,
+            "GF(2^16) element {value} out of range (order 65536)"
+        );
+        GF65536(value as u16)
     }
 
     fn to_usize(self) -> usize {
@@ -218,26 +179,7 @@ impl Field for GF65536 {
             crate::field::xor_slice(dst, src);
             return;
         }
-        if dst.len() < SPLIT_TABLE_CUTOFF_BYTES {
-            let t = tables();
-            let log_c = t.log[coeff.0 as usize];
-            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-                let sv = u16::from_le_bytes([s[0], s[1]]);
-                if sv == 0 {
-                    continue;
-                }
-                let prod = t.exp[(log_c + t.log[sv as usize]) as usize];
-                let dv = u16::from_le_bytes([d[0], d[1]]) ^ prod;
-                d.copy_from_slice(&dv.to_le_bytes());
-            }
-            return;
-        }
-        let t = ProductTables::build(coeff.0);
-        for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
-            let sv = u16::from_le_bytes([s[0], s[1]]);
-            let dv = u16::from_le_bytes([d[0], d[1]]) ^ t.mul(sv);
-            d.copy_from_slice(&dv.to_le_bytes());
-        }
+        crate::kernels::gf16::mul_acc_slice(coeff.0, dst, src);
     }
 
     fn mul_slice(coeff: Self, data: &mut [u8]) {
@@ -253,25 +195,7 @@ impl Field for GF65536 {
             data.fill(0);
             return;
         }
-        if data.len() < SPLIT_TABLE_CUTOFF_BYTES {
-            let t = tables();
-            let log_c = t.log[coeff.0 as usize];
-            for d in data.chunks_exact_mut(2) {
-                let dv = u16::from_le_bytes([d[0], d[1]]);
-                let prod = if dv == 0 {
-                    0
-                } else {
-                    t.exp[(log_c + t.log[dv as usize]) as usize]
-                };
-                d.copy_from_slice(&prod.to_le_bytes());
-            }
-            return;
-        }
-        let t = ProductTables::build(coeff.0);
-        for d in data.chunks_exact_mut(2) {
-            let dv = u16::from_le_bytes([d[0], d[1]]);
-            d.copy_from_slice(&t.mul(dv).to_le_bytes());
-        }
+        crate::kernels::gf16::mul_slice(coeff.0, data);
     }
 }
 
@@ -303,6 +227,18 @@ mod tests {
             }
         }
         assert_eq!(x, GF65536::ONE);
+    }
+
+    #[test]
+    fn from_usize_covers_the_full_field() {
+        assert_eq!(GF65536::from_usize(0), GF65536::ZERO);
+        assert_eq!(GF65536::from_usize(65535), GF65536(65535));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_usize_rejects_out_of_range() {
+        let _ = GF65536::from_usize(65536);
     }
 
     #[test]
@@ -342,7 +278,7 @@ mod tests {
     }
 
     #[test]
-    fn split_byte_tables_match_field_mul_for_all_byte_patterns() {
+    fn slice_kernels_match_field_mul_for_all_byte_patterns() {
         // Covers every low-byte and high-byte table entry.
         let src: Vec<u8> = (0..=255u16)
             .flat_map(|b| [(b << 8) | b, b, b << 8])
@@ -359,9 +295,9 @@ mod tests {
 
     #[test]
     fn slice_kernels_agree_across_the_cutoff() {
-        // Lengths straddling SPLIT_TABLE_CUTOFF_BYTES must agree: both the
-        // log/exp small-slice path and the split-byte table path are compared
-        // to the element-wise reference.
+        // Lengths straddling the kernel module's small-slice cutoff must
+        // agree: both the log/exp small-slice path and the dispatched long
+        // path are compared to the element-wise reference.
         for len_elems in [1usize, 8, 31, 32, 33, 64, 100, 512] {
             let src: Vec<u8> = (0..len_elems)
                 .flat_map(|i| ((i as u16).wrapping_mul(2654) ^ 0x700d).to_le_bytes())

@@ -154,7 +154,13 @@ impl Field for GF256 {
     const ORDER: usize = 256;
 
     fn from_usize(value: usize) -> Self {
-        GF256((value % 256) as u8)
+        // Same rationale as GF(2^16): wrapping would silently alias erasure
+        // code evaluation points and break the MDS property.
+        assert!(
+            value < Self::ORDER,
+            "GF(2^8) element {value} out of range (order 256)"
+        );
+        GF256(value as u8)
     }
 
     fn to_usize(self) -> usize {
@@ -240,6 +246,18 @@ mod tests {
     #[test]
     fn inverse_of_zero_is_none() {
         assert_eq!(GF256::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn from_usize_covers_the_full_field() {
+        assert_eq!(GF256::from_usize(0), GF256::ZERO);
+        assert_eq!(GF256::from_usize(255), GF256(255));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_usize_rejects_out_of_range() {
+        let _ = GF256::from_usize(256);
     }
 
     #[test]

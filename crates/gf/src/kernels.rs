@@ -1,4 +1,9 @@
-//! Vectorized GF(2^8) slice kernels: split-nibble multiply-accumulate.
+//! Vectorized GF slice kernels: split-nibble multiply-accumulate.
+//!
+//! This module holds the GF(2^8) tiers; the GF(2^16) tiers, which extend the
+//! same nibble-table trick to four nibble positions, live in [`gf16`].  Both
+//! share the runtime ISA detection below, so one binary dispatches each field
+//! to the best kernel the machine supports.
 //!
 //! # Why split nibbles
 //!
@@ -28,7 +33,8 @@
 //! exhaustive and property tests:
 //!
 //! 1. **`pshufb` SIMD** ([`mul_acc_slice`] dispatch target on x86/x86_64) —
-//!    32 bytes per step with AVX2, 16 with SSSE3.  Selected **at runtime** via
+//!    64 bytes per step with AVX-512BW, 32 with AVX2, 16 with SSSE3.
+//!    Selected **at runtime** via
 //!    `is_x86_feature_detected!`, memoized in a `OnceLock`, so one binary runs
 //!    optimally on any machine; `unsafe` is confined to this module and each
 //!    `target_feature` function is only reachable after its feature check.
@@ -51,6 +57,8 @@
 // `unsafe` is needed for the `core::arch` intrinsics only; the crate root
 // denies unsafe code everywhere else.
 #![allow(unsafe_code)]
+
+pub mod gf16;
 
 use std::sync::OnceLock;
 
@@ -86,6 +94,9 @@ fn nibble_tables() -> &'static NibbleTables {
 /// Which SIMD tier the running CPU supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Isa {
+    /// AVX-512BW: 64-byte `pshufb` steps.
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    Avx512,
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
     Avx2,
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -98,6 +109,9 @@ fn isa() -> Isa {
     *ISA.get_or_init(|| {
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         {
+            if std::arch::is_x86_feature_detected!("avx512bw") {
+                return Isa::Avx512;
+            }
             if std::arch::is_x86_feature_detected!("avx2") {
                 return Isa::Avx2;
             }
@@ -114,6 +128,8 @@ fn isa() -> Isa {
 /// recorded numbers identify the code path that produced them.
 pub fn active_kernel() -> &'static str {
     match isa() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Isa::Avx512 => "avx512",
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Avx2 => "avx2",
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -134,8 +150,10 @@ pub fn mul_acc_slice(coeff: u8, dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "mul_acc_slice requires equal lengths");
     match isa() {
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-        // SAFETY: `isa()` returned Avx2/Ssse3 only after
+        // SAFETY: `isa()` returned Avx512/Avx2/Ssse3 only after
         // `is_x86_feature_detected!` confirmed the feature at runtime.
+        Isa::Avx512 => unsafe { x86::mul_acc_avx512(coeff, dst, src) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Avx2 => unsafe { x86::mul_acc_avx2(coeff, dst, src) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Ssse3 => unsafe { x86::mul_acc_ssse3(coeff, dst, src) },
@@ -148,6 +166,8 @@ pub fn mul_slice(coeff: u8, data: &mut [u8]) {
     match isa() {
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         // SAFETY: as in `mul_acc_slice`.
+        Isa::Avx512 => unsafe { x86::mul_avx512(coeff, data) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Avx2 => unsafe { x86::mul_avx2(coeff, data) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Ssse3 => unsafe { x86::mul_ssse3(coeff, data) },
@@ -260,11 +280,81 @@ mod x86 {
     use core::arch::x86_64 as arch;
 
     use arch::{
-        __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
-        _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
-        _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
-        _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+        __m128i, __m256i, __m512i, _mm256_and_si256, _mm256_broadcastsi128_si256,
+        _mm256_loadu_si256, _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64,
+        _mm256_storeu_si256, _mm256_xor_si256, _mm512_and_si512, _mm512_broadcast_i32x4,
+        _mm512_loadu_si512, _mm512_set1_epi8, _mm512_shuffle_epi8, _mm512_srli_epi64,
+        _mm512_storeu_si512, _mm512_xor_si512, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8,
+        _mm_shuffle_epi8, _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
     };
+
+    /// One AVX-512 step: 64 products via two nibble shuffles.
+    #[inline(always)]
+    unsafe fn product64(src: __m512i, lo: __m512i, hi: __m512i, mask: __m512i) -> __m512i {
+        // SAFETY: caller is inside an avx512bw target_feature region.
+        unsafe {
+            let lo_nib = _mm512_and_si512(src, mask);
+            let hi_nib = _mm512_and_si512(_mm512_srli_epi64(src, 4), mask);
+            _mm512_xor_si512(
+                _mm512_shuffle_epi8(lo, lo_nib),
+                _mm512_shuffle_epi8(hi, hi_nib),
+            )
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX-512BW (checked by the dispatcher at runtime).
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn mul_acc_avx512(coeff: u8, dst: &mut [u8], src: &[u8]) {
+        let t = nibble_tables();
+        // SAFETY: the table rows are 16 bytes, matching the unaligned loads;
+        // chunk pointers come from `chunks_exact`, so every 64-byte access is
+        // in bounds.  AVX-512BW implies AVX2 for the tail kernel.
+        unsafe {
+            let lo = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                t.lo[coeff as usize].as_ptr() as *const __m128i
+            ));
+            let hi = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                t.hi[coeff as usize].as_ptr() as *const __m128i
+            ));
+            let mask = _mm512_set1_epi8(0x0f);
+            let mut d_chunks = dst.chunks_exact_mut(64);
+            let mut s_chunks = src.chunks_exact(64);
+            for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+                let sv = _mm512_loadu_si512(s.as_ptr() as *const __m512i);
+                let dv = _mm512_loadu_si512(d.as_ptr() as *const __m512i);
+                let out = _mm512_xor_si512(dv, product64(sv, lo, hi, mask));
+                _mm512_storeu_si512(d.as_mut_ptr() as *mut __m512i, out);
+            }
+            mul_acc_avx2(coeff, d_chunks.into_remainder(), s_chunks.remainder());
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX-512BW (checked by the dispatcher at runtime).
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn mul_avx512(coeff: u8, data: &mut [u8]) {
+        let t = nibble_tables();
+        // SAFETY: as in `mul_acc_avx512`.
+        unsafe {
+            let lo = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                t.lo[coeff as usize].as_ptr() as *const __m128i
+            ));
+            let hi = _mm512_broadcast_i32x4(_mm_loadu_si128(
+                t.hi[coeff as usize].as_ptr() as *const __m128i
+            ));
+            let mask = _mm512_set1_epi8(0x0f);
+            let mut chunks = data.chunks_exact_mut(64);
+            for d in &mut chunks {
+                let dv = _mm512_loadu_si512(d.as_ptr() as *const __m512i);
+                let out = product64(dv, lo, hi, mask);
+                _mm512_storeu_si512(d.as_mut_ptr() as *mut __m512i, out);
+            }
+            mul_avx2(coeff, chunks.into_remainder());
+        }
+    }
 
     /// One AVX2 step: 32 products via two nibble shuffles.
     #[inline(always)]
@@ -475,7 +565,7 @@ mod tests {
 
     #[test]
     fn dispatcher_reports_a_known_kernel() {
-        assert!(["avx2", "ssse3", "scalar"].contains(&active_kernel()));
+        assert!(["avx512", "avx2", "ssse3", "scalar"].contains(&active_kernel()));
     }
 
     #[test]

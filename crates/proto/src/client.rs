@@ -7,7 +7,9 @@
 use crate::server::ControlInfo;
 use crate::wire::DataPacket;
 use bytes::Bytes;
-use df_core::{reassemble_file, AddOutcome, PayloadDecoder, TornadoCode, TORNADO_A, TORNADO_B};
+use df_core::{
+    reassemble_file, AddOutcome, FinalCode, PayloadDecoder, TornadoCode, TORNADO_A, TORNADO_B,
+};
 use serde::Serialize;
 
 /// Reception statistics for one download, mirroring Section 7.3's efficiency
@@ -126,8 +128,22 @@ impl Client {
             return false;
         };
         let idx = pkt.header.packet_index as usize;
-        if idx >= self.code.n() || pkt.payload.len() != self.control.packet_size {
+        if idx >= self.code.n() {
             // Corrupted or foreign packet; the channel is best-effort, drop it.
+            return false;
+        }
+        // For odd packet sizes a GF(2^16) final code pads its check packets by
+        // two bytes (see `df_core::FinalCode`); every other packet carries
+        // exactly `packet_size` bytes.
+        let expected = if self.control.packet_size % 2 == 1
+            && idx >= self.code.cascade().rs_offset()
+            && matches!(self.code.cascade().final_code(), FinalCode::Large(_))
+        {
+            self.control.packet_size + 2
+        } else {
+            self.control.packet_size
+        };
+        if pkt.payload.len() != expected {
             return false;
         }
         self.stats.received += 1;
@@ -229,6 +245,33 @@ mod tests {
         );
         assert!(!client.handle_datagram(bogus.to_bytes()));
         assert_eq!(client.stats().received, 0);
+    }
+
+    #[test]
+    fn odd_packet_size_with_gf16_final_block_downloads() {
+        // An odd packet size with Tornado B yields a pure GF(2^16) MDS block
+        // whose check packets carry two padding bytes (501 bytes here); the
+        // client must accept them and still reconstruct the file exactly.
+        let data: Vec<u8> = (0..99_800).map(|i| (i * 37 % 251) as u8).collect();
+        let mut server = Server::new(&data, 499, 1, df_core::TORNADO_B, 9).unwrap();
+        assert!(matches!(
+            server.code().cascade().final_code(),
+            FinalCode::Large(_)
+        ));
+        let mut net = SimMulticast::new(21);
+        let rx = net.add_receiver(0.1);
+        rx.subscribe(0);
+        let mut client = Client::new(server.control_info().clone()).unwrap();
+        'outer: for _ in 0..10_000 {
+            server.send_round(&mut net);
+            while let Some((_group, datagram)) = rx.recv() {
+                if client.handle_datagram(datagram) {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
     }
 
     #[test]

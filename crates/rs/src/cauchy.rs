@@ -282,6 +282,27 @@ mod tests {
     }
 
     #[test]
+    fn construction_at_field_order_boundary_round_trips() {
+        // n equal to the field order uses every field point exactly once for
+        // the disjoint x/y sets; `from_usize` asserts rather than wrapping,
+        // so any aliasing bug panics instead of breaking MDS silently.
+        let code = CauchyCode::new(128, 256).unwrap();
+        let src = random_source(128, 8, 77);
+        let enc = code.encode(&src).unwrap();
+        let rx: Vec<(usize, Vec<u8>)> = (128..256).map(|i| (i, enc[i].clone())).collect();
+        assert_eq!(code.decode(&rx).unwrap(), src);
+
+        let large = CauchyCode::<GF65536>::new_large(2, 65_536).unwrap();
+        let src = random_source(2, 6, 78);
+        let enc2 = large.encode(&src).unwrap();
+        let rx: Vec<(usize, Vec<u8>)> = [65_535usize, 1]
+            .iter()
+            .map(|&i| (i, enc2[i].clone()))
+            .collect();
+        assert_eq!(large.decode(&rx).unwrap(), src);
+    }
+
+    #[test]
     fn rate_one_code_is_passthrough() {
         let code = CauchyCode::new(3, 3).unwrap();
         let src = random_source(3, 10, 0);

@@ -14,6 +14,75 @@
 
 use crate::code::{check_received, check_source, reset_copy, reset_zeroed, ErasureCode, RsError};
 use df_gf::{Field, Matrix, GF256, GF65536};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How many erasure patterns' inverted submatrices to keep per code.
+///
+/// Receivers of a carousel see few distinct patterns (often exactly one — the
+/// set of packets that survived their loss process), so a handful of entries
+/// removes the `O(k³)` inversion from every decode after the first.  The k×k
+/// inverse for a large GF(2^16) code is megabytes, so the cap is small and
+/// eviction is wholesale rather than LRU bookkeeping.
+const INVERSE_CACHE_CAP: usize = 8;
+
+/// Map from a sorted received-index pattern to the shared inverse of its
+/// decode submatrix.
+type PatternMap<F> = HashMap<Vec<usize>, Arc<Matrix<F>>>;
+
+/// Cache of inverted decode submatrices keyed by the sorted pattern of
+/// received packet indices.
+///
+/// Interior mutability lives behind an `Arc`, so clones of a code share one
+/// cache and `decode_into(&self, ...)` stays `&self` (the `ErasureCode` trait
+/// requires `Send + Sync`).
+struct InverseCache<F: Field> {
+    map: Arc<Mutex<PatternMap<F>>>,
+}
+
+impl<F: Field> InverseCache<F> {
+    fn new() -> Self {
+        InverseCache {
+            map: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Fetch the cached inverse for `rows`, or build, cache and return it.
+    ///
+    /// The build runs outside the lock: a concurrent decode of a new pattern
+    /// must not block decodes of cached patterns behind an `O(k³)` inversion.
+    fn get_or_build(
+        &self,
+        rows: &[usize],
+        build: impl FnOnce() -> Result<Matrix<F>, RsError>,
+    ) -> Result<Arc<Matrix<F>>, RsError> {
+        if let Some(inv) = self.map.lock().get(rows) {
+            return Ok(inv.clone());
+        }
+        let inv = Arc::new(build()?);
+        let mut map = self.map.lock();
+        if map.len() >= INVERSE_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(rows.to_vec(), inv.clone());
+        Ok(inv)
+    }
+}
+
+impl<F: Field> Clone for InverseCache<F> {
+    fn clone(&self) -> Self {
+        InverseCache {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<F: Field> std::fmt::Debug for InverseCache<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InverseCache({} patterns)", self.map.lock().len())
+    }
+}
 
 /// Shared implementation for generator-matrix-based systematic MDS codes.
 ///
@@ -26,13 +95,20 @@ pub(crate) struct MatrixCode<F: Field> {
     /// Systematic `n x k` generator matrix: row `j` holds the coefficients of
     /// encoding packet `j` as a combination of the `k` source packets.
     generator: Matrix<F>,
+    /// Inverted decode submatrices of recently seen erasure patterns.
+    inverse_cache: InverseCache<F>,
 }
 
 impl<F: Field> MatrixCode<F> {
     pub(crate) fn from_generator(k: usize, n: usize, generator: Matrix<F>) -> Self {
         debug_assert_eq!(generator.rows(), n);
         debug_assert_eq!(generator.cols(), k);
-        MatrixCode { k, n, generator }
+        MatrixCode {
+            k,
+            n,
+            generator,
+            inverse_cache: InverseCache::new(),
+        }
     }
 
     pub(crate) fn encode_into(
@@ -91,11 +167,18 @@ impl<F: Field> MatrixCode<F> {
         }
         // Solve for the missing source packets: the received rows of the
         // generator, restricted to the k picked packets, form an invertible
-        // k x k system A * source = received.  source = A^{-1} * received, and
-        // we only materialise the rows of A^{-1} for missing source indices.
+        // k x k system A * source = received.  source = A^{-1} * received.
+        // The inverse depends only on *which* packets arrived, so it is
+        // cached per erasure pattern — a receiver that decodes repeatedly
+        // behind a stable loss pattern (the carousel case the paper's decode
+        // benchmarks model) pays the O(k³) inversion once, not per call.
         let rows: Vec<usize> = picked.iter().map(|(idx, _)| *idx).collect();
-        let a = self.generator.select_rows(&rows);
-        let a_inv = a.inverse().map_err(|_| RsError::DecodeFailure)?;
+        let a_inv = self.inverse_cache.get_or_build(&rows, || {
+            self.generator
+                .select_rows(&rows)
+                .inverse()
+                .map_err(|_| RsError::DecodeFailure)
+        })?;
         for &mi in &missing {
             let acc = &mut out[mi];
             reset_zeroed(acc, len);
@@ -295,6 +378,65 @@ mod tests {
         idx.shuffle(&mut rng);
         let rx: Vec<(usize, Vec<u8>)> = idx[..300].iter().map(|&i| (i, enc[i].clone())).collect();
         assert_eq!(code.decode(&rx).unwrap(), src);
+    }
+
+    #[test]
+    fn construction_at_field_order_boundary_round_trips() {
+        // n equal to the field order must work: evaluation points are exactly
+        // 0..n, and `from_usize` asserts rather than wrapping, so an
+        // off-by-one here would panic instead of silently aliasing points.
+        let code = VandermondeCode::new(3, 256).unwrap();
+        let src = random_source(3, 16, 20);
+        let enc = code.encode(&src).unwrap();
+        assert_eq!(enc.len(), 256);
+        let rx: Vec<(usize, Vec<u8>)> = [255usize, 128, 0]
+            .iter()
+            .map(|&i| (i, enc[i].clone()))
+            .collect();
+        assert_eq!(code.decode(&rx).unwrap(), src);
+
+        let large = VandermondeCode::<GF65536>::with_field(2, 65_536).unwrap();
+        let src = random_source(2, 8, 21);
+        let enc = large.encode(&src).unwrap();
+        let rx: Vec<(usize, Vec<u8>)> = [65_535usize, 40_000]
+            .iter()
+            .map(|&i| (i, enc[i].clone()))
+            .collect();
+        assert_eq!(large.decode(&rx).unwrap(), src);
+    }
+
+    #[test]
+    fn repeated_pattern_decodes_hit_the_inverse_cache() {
+        // Same erasure pattern, different payloads: the second decode reuses
+        // the cached inverse and must still be exact.  Clones share the
+        // cache; distinct patterns must not collide.
+        let code = VandermondeCode::new(8, 16).unwrap();
+        let clone = code.clone();
+        for seed in 0..5u64 {
+            let src = random_source(8, 64, 30 + seed);
+            let enc = code.encode(&src).unwrap();
+            let pattern = [15usize, 0, 7, 9, 3, 12, 5, 11];
+            let rx: Vec<(usize, Vec<u8>)> = pattern.iter().map(|&i| (i, enc[i].clone())).collect();
+            assert_eq!(code.decode(&rx).unwrap(), src, "seed {seed}");
+            assert_eq!(clone.decode(&rx).unwrap(), src, "clone, seed {seed}");
+            // A different pattern over the same encoding.
+            let rx2: Vec<(usize, Vec<u8>)> = (8..16).map(|i| (i, enc[i].clone())).collect();
+            assert_eq!(code.decode(&rx2).unwrap(), src, "alt pattern, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn many_patterns_overflow_the_cache_safely() {
+        // More distinct patterns than INVERSE_CACHE_CAP: eviction must not
+        // affect correctness.
+        let code = VandermondeCode::new(4, 16).unwrap();
+        let src = random_source(4, 24, 40);
+        let enc = code.encode(&src).unwrap();
+        for start in 0..12usize {
+            let rx: Vec<(usize, Vec<u8>)> =
+                (start..start + 4).map(|i| (i, enc[i].clone())).collect();
+            assert_eq!(code.decode(&rx).unwrap(), src, "pattern at {start}");
+        }
     }
 
     #[test]
