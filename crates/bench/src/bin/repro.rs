@@ -12,7 +12,9 @@
 //! defaulting to `--pr=1` and `BENCH_pr<N>.json`) emits a machine-readable
 //! encode/decode-throughput report for the four Table 2/3 codes — plus a
 //! repeated-pattern Vandermonde decode row isolating the per-pattern inverse
-//! cache — used to track performance across PRs.
+//! cache, and a `proto_throughput` row measuring the client-side protocol
+//! path (`ClientSession::handle_datagram` over `SimMulticast`) — used to
+//! track performance across PRs.
 //! By default the harness runs *scaled-down* parameter sets (smaller maximum
 //! file sizes and fewer trials) so that `all` completes in a few minutes;
 //! pass `--full` for the paper's full sizes and trial counts (hours for the

@@ -127,6 +127,50 @@ pub fn measure_vandermonde_repeated(k: usize, packet_size: usize) -> CodingTimes
     CodingTimes { encode_s, decode_s }
 }
 
+/// Measure the prototype protocol end-to-end: server-side session setup
+/// (packetise + build code + encode) as the encode time, and the client-side
+/// path — datagrams pumped through `SimMulticast` into
+/// `ClientSession::handle_datagram` until the file reconstructs — as the
+/// decode time.  Unlike the raw codec rows this includes packet framing,
+/// validation, reception accounting and the statistical-attempt machinery,
+/// so it tracks protocol overhead on top of `measure_tornado`.
+pub fn measure_proto_throughput(k: usize, packet_size: usize) -> CodingTimes {
+    use df_proto::{ClientEvent, ClientSession, ServerSession, SessionConfig, Transport};
+
+    let data: Vec<u8> = random_packets(k, packet_size, 0x9707).concat();
+    let t0 = Instant::now();
+    let mut server = ServerSession::new(
+        &data,
+        SessionConfig {
+            packet_size,
+            code_seed: 0x5eed,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("session encodes");
+    let encode_s = t0.elapsed().as_secs_f64();
+
+    let net = df_proto::SimMulticast::new(1);
+    let mut tx = net.endpoint(0.0);
+    let mut rx = net.endpoint(0.0);
+    let mut client = ClientSession::new(server.control_info().clone()).expect("control info");
+    for group in client.groups().collect::<Vec<_>>() {
+        rx.join(group).expect("sim join");
+    }
+    let t0 = Instant::now();
+    'outer: loop {
+        server.send_round(&mut tx);
+        while let Some((_group, datagram)) = rx.recv() {
+            if client.handle_datagram(datagram) == ClientEvent::Complete {
+                break 'outer;
+            }
+        }
+    }
+    let decode_s = t0.elapsed().as_secs_f64();
+    assert_eq!(client.file().expect("complete"), &data[..]);
+    CodingTimes { encode_s, decode_s }
+}
+
 /// Measure the per-block Cauchy decode time for interleaved-code estimates
 /// (Table 4): a block of `block_k` source packets, half received from each
 /// side.
@@ -147,7 +191,7 @@ pub fn measure_cauchy_block_decode(block_k: usize, packet_size: usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Code name ("tornado_a", "tornado_b", "cauchy", "vandermonde",
-    /// "vandermonde_repeat").
+    /// "vandermonde_repeat", "proto_throughput").
     pub code: &'static str,
     /// Measured wall-clock times.
     pub times: CodingTimes,
@@ -160,8 +204,9 @@ pub struct ThroughputRow {
 
 /// Measure all four codes of Tables 2/3 at one operating point — plus the
 /// repeated-pattern Vandermonde decode, which isolates the per-pattern
-/// inverse cache from the one-off `O(k³)` inversion — and return the rows of
-/// the machine-readable report.
+/// inverse cache from the one-off `O(k³)` inversion, and the prototype
+/// protocol's client-side throughput over `SimMulticast` — and return the
+/// rows of the machine-readable report.
 pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
     let file_mb = (k * packet_size) as f64 / 1e6;
     let row = |code: &'static str, times: CodingTimes| ThroughputRow {
@@ -185,6 +230,7 @@ pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
             "vandermonde_repeat",
             measure_vandermonde_repeated(k, packet_size),
         ),
+        row("proto_throughput", measure_proto_throughput(k, packet_size)),
     ]
 }
 
@@ -243,6 +289,12 @@ mod tests {
     fn tornado_measurement_roundtrips() {
         let t = measure_tornado(TORNADO_A, 128, 64);
         assert!(t.encode_s >= 0.0 && t.decode_s >= 0.0);
+    }
+
+    #[test]
+    fn proto_measurement_roundtrips() {
+        let t = measure_proto_throughput(64, 128);
+        assert!(t.encode_s > 0.0 && t.decode_s > 0.0);
     }
 
     #[test]

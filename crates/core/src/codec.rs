@@ -31,17 +31,22 @@
 //! assert_eq!(decoder.source().unwrap(), source);
 //! ```
 
-use crate::cascade::Cascade;
-use crate::decode::{PayloadDecoder, SymbolicDecoder};
+use crate::cascade::{Cascade, FinalCode};
+use crate::decode::{OwnedPayloadDecoder, PayloadDecoder, SymbolicDecoder};
 use crate::error::Result;
 use crate::profile::{TornadoProfile, TORNADO_A, TORNADO_B};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A Tornado erasure code with fixed `k`, stretch factor and graph structure.
+///
+/// The cascade is held behind an [`Arc`], so cloning a `TornadoCode` — or
+/// creating an [`OwnedPayloadDecoder`] with [`TornadoCode::owned_decoder`] —
+/// shares the graph structure instead of copying it.
 #[derive(Debug, Clone)]
 pub struct TornadoCode {
-    cascade: Cascade,
+    cascade: Arc<Cascade>,
 }
 
 impl TornadoCode {
@@ -52,7 +57,7 @@ impl TornadoCode {
     /// See [`Cascade::build`].
     pub fn with_profile(k: usize, profile: TornadoProfile, seed: u64) -> Result<Self> {
         Ok(TornadoCode {
-            cascade: Cascade::build(k, profile, seed)?,
+            cascade: Arc::new(Cascade::build(k, profile, seed)?),
         })
     }
 
@@ -94,6 +99,41 @@ impl TornadoCode {
         &self.cascade
     }
 
+    /// A shared handle to the cascade, for decoders (or sessions) that must
+    /// outlive this `TornadoCode` value.
+    pub fn shared_cascade(&self) -> Arc<Cascade> {
+        Arc::clone(&self.cascade)
+    }
+
+    /// The exact payload length a well-formed encoding packet `index` carries
+    /// when the source was split into `packet_size`-byte packets.
+    ///
+    /// This is `packet_size` for every packet except one corner: a GF(2^16)
+    /// final code with an *odd* `packet_size` pads its check packets by two
+    /// bytes (one padding byte to reach 16-bit alignment plus one odd-length
+    /// marker byte — see [`FinalCode`]).  Protocol layers should validate
+    /// received payload lengths against this instead of re-deriving the
+    /// codec's padding rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn expected_payload_len(&self, index: usize, packet_size: usize) -> usize {
+        assert!(
+            index < self.n(),
+            "packet index {index} out of range for n = {}",
+            self.n()
+        );
+        if packet_size % 2 == 1
+            && index >= self.cascade.rs_offset()
+            && matches!(self.cascade.final_code(), FinalCode::Large(_))
+        {
+            packet_size + 2
+        } else {
+            packet_size
+        }
+    }
+
     /// The profile this code was built from.
     pub fn profile(&self) -> &TornadoProfile {
         self.cascade.profile()
@@ -108,14 +148,20 @@ impl TornadoCode {
         crate::encode::encode(&self.cascade, source)
     }
 
-    /// Create an incremental payload decoder.
+    /// Create an incremental payload decoder borrowing this code's cascade.
     pub fn decoder(&self) -> PayloadDecoder<'_> {
-        PayloadDecoder::new(&self.cascade)
+        PayloadDecoder::new(self.cascade())
+    }
+
+    /// Create an incremental payload decoder that shares ownership of the
+    /// cascade, so it is not tied to this `TornadoCode`'s lifetime.
+    pub fn owned_decoder(&self) -> OwnedPayloadDecoder {
+        OwnedPayloadDecoder::new(self.shared_cascade())
     }
 
     /// Create an index-only decoder for reception simulations.
     pub fn symbolic_decoder(&self) -> SymbolicDecoder<'_> {
-        SymbolicDecoder::new(&self.cascade)
+        SymbolicDecoder::new(self.cascade())
     }
 
     /// Batch decode: reconstruct the source from `(index, payload)` pairs.
@@ -201,6 +247,53 @@ mod tests {
             assert!(eps >= 0.0);
             assert!(eps < 0.3, "overhead {eps} far outside the expected band");
         }
+    }
+
+    #[test]
+    fn owned_decoder_outlives_the_code_and_matches_borrowed() {
+        let code = TornadoCode::new_a(300, 4).unwrap();
+        let src: Vec<Vec<u8>> = (0..300u16).map(|i| i.to_le_bytes().repeat(8)).collect();
+        let enc = code.encode(&src).unwrap();
+        let mut owned = code.owned_decoder();
+        let mut borrowed = code.decoder();
+        for (i, p) in enc.iter().enumerate().rev() {
+            let a = owned.add_packet_ref(i, p).unwrap();
+            let b = borrowed.add_packet_ref(i, p).unwrap();
+            assert_eq!(a, b, "packet {i}");
+            if a == crate::AddOutcome::Complete {
+                break;
+            }
+        }
+        // The owned decoder keeps working after the code itself is gone.
+        drop(borrowed);
+        drop(code);
+        assert!(owned.is_complete());
+        assert_eq!(owned.source().unwrap(), src);
+    }
+
+    #[test]
+    fn expected_payload_len_covers_the_odd_gf16_corner() {
+        // Tornado B at this size has a GF(2^16) final block; with an odd
+        // packet size its check packets carry two extra bytes.
+        let b = TornadoCode::new_b(4000, 7).unwrap();
+        assert!(matches!(
+            b.cascade().final_code(),
+            crate::FinalCode::Large(_)
+        ));
+        let rs = b.cascade().rs_offset();
+        assert_eq!(b.expected_payload_len(0, 499), 499);
+        assert_eq!(b.expected_payload_len(rs - 1, 499), 499);
+        assert_eq!(b.expected_payload_len(rs, 499), 501);
+        assert_eq!(b.expected_payload_len(b.n() - 1, 499), 501);
+        // Even packet sizes never pad.
+        assert_eq!(b.expected_payload_len(rs, 500), 500);
+        // Tornado A keeps a GF(2^8) final block: no padding even when odd.
+        let a = TornadoCode::new_a(4000, 7).unwrap();
+        assert!(matches!(
+            a.cascade().final_code(),
+            crate::FinalCode::Small(_)
+        ));
+        assert_eq!(a.expected_payload_len(a.n() - 1, 499), 499);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 use crate::cascade::{Cascade, PacketRole};
 use crate::error::{Result, TornadoError};
 use crate::symbol::{Mark, Symbol};
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 /// Outcome of feeding one packet to the decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,9 +37,15 @@ pub enum AddOutcome {
 }
 
 /// Incremental peeling decoder over an agreed [`Cascade`].
+///
+/// Generic over how the cascade is held (`C`): a plain reference for
+/// short-lived decoders ([`PayloadDecoder`], [`SymbolicDecoder`]) or an
+/// [`Arc`] for decoders that must live independently of the code that created
+/// them ([`OwnedPayloadDecoder`]) — e.g. a protocol session that keeps one
+/// decoder alive across many statistical decode attempts.
 #[derive(Debug, Clone)]
-pub struct PeelingDecoder<'a, S: Symbol> {
-    cascade: &'a Cascade,
+pub struct PeelingDecoder<S: Symbol, C: Borrow<Cascade> + Clone> {
+    cascade: C,
     /// Current value of every encoding packet (global index), if known.
     values: Vec<Option<S>>,
     /// Per check node (levels 1..): number of still-unknown left neighbours.
@@ -64,26 +72,28 @@ pub struct PeelingDecoder<'a, S: Symbol> {
     rs_done: bool,
 }
 
-impl<'a, S: Symbol> PeelingDecoder<'a, S> {
+impl<S: Symbol, C: Borrow<Cascade> + Clone> PeelingDecoder<S, C> {
     /// Create a decoder for the given cascade with no packets received yet.
-    pub fn new(cascade: &'a Cascade) -> Self {
-        let check_base = if cascade.num_levels() > 1 {
-            cascade.level_offset(1)
+    pub fn new(cascade: C) -> Self {
+        let c: &Cascade = cascade.borrow();
+        let check_base = if c.num_levels() > 1 {
+            c.level_offset(1)
         } else {
-            cascade.rs_offset()
+            c.rs_offset()
         };
-        let check_count = cascade.rs_offset() - check_base;
+        let check_count = c.rs_offset() - check_base;
         let mut unknown_left = Vec::with_capacity(check_count);
-        for level in 1..cascade.num_levels() {
-            let graph = &cascade.graphs()[level - 1];
+        for level in 1..c.num_levels() {
+            let graph = &c.graphs()[level - 1];
             for pos in 0..graph.right() {
                 unknown_left.push(graph.check_neighbors(pos).len() as u32);
             }
         }
         debug_assert_eq!(unknown_left.len(), check_count);
+        let n = c.n();
         PeelingDecoder {
             cascade,
-            values: vec![None; cascade.n()],
+            values: vec![None; n],
             unknown_left,
             acc: vec![None; check_count],
             check_base,
@@ -99,12 +109,12 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
 
     /// The cascade this decoder operates on.
     pub fn cascade(&self) -> &Cascade {
-        self.cascade
+        self.cascade.borrow()
     }
 
     /// True once every source packet is known.
     pub fn is_complete(&self) -> bool {
-        self.source_known == self.cascade.k()
+        self.source_known == self.cascade.borrow().k()
     }
 
     /// Distinct packets received from the channel so far.
@@ -129,7 +139,7 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
     /// data.  Every received packet counts, including ones whose content the
     /// decoder had already recovered or already received.
     pub fn reception_overhead(&self) -> f64 {
-        self.received_total as f64 / self.cascade.k() as f64 - 1.0
+        self.received_total as f64 / self.cascade.borrow().k() as f64 - 1.0
     }
 
     /// Feed one encoding packet to the decoder.
@@ -166,11 +176,11 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
     /// Validate `index`, count the reception, and report whether the packet
     /// is a duplicate.
     fn register(&mut self, index: usize) -> Result<bool> {
-        if index >= self.cascade.n() {
+        if index >= self.cascade.borrow().n() {
             return Err(TornadoError::MalformedInput {
                 reason: format!(
                     "packet index {index} out of range for n = {}",
-                    self.cascade.n()
+                    self.cascade.borrow().n()
                 ),
             });
         }
@@ -210,7 +220,7 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
             return None;
         }
         Some(
-            (0..self.cascade.k())
+            (0..self.cascade.borrow().k())
                 .map(|i| {
                     self.values[i]
                         .clone()
@@ -234,7 +244,8 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
 
     /// Record a newly-known packet and push any recoveries it enables.
     fn mark_known(&mut self, g: usize, value: S, worklist: &mut Vec<(usize, S)>) -> Result<()> {
-        let role = self.cascade.role(g);
+        let role = self.cascade.borrow().role(g);
+        let num_levels = self.cascade.borrow().num_levels();
         self.values[g] = Some(value);
         self.known += 1;
         match role {
@@ -242,12 +253,12 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
                 if level == 0 {
                     self.source_known += 1;
                 }
-                if level + 1 == self.cascade.num_levels() {
+                if level + 1 == num_levels {
                     self.rs_block_known += 1;
                 }
                 // As a left node of the graph above (if any): update the check
                 // accumulators of its neighbours.
-                if level + 1 < self.cascade.num_levels() {
+                if level + 1 < num_levels {
                     self.update_checks_above(level, pos, g, worklist);
                 }
                 // As a check node of the graph below (levels >= 1): it may now
@@ -262,7 +273,7 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
         }
         // The final level becomes recoverable as soon as k of its block's
         // packets are known.
-        if !self.rs_done && self.rs_block_known >= self.cascade.final_code().k() {
+        if !self.rs_done && self.rs_block_known >= self.cascade.borrow().final_code().k() {
             self.try_final_level(worklist)?;
         }
         Ok(())
@@ -277,8 +288,12 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
         g: usize,
         worklist: &mut Vec<(usize, S)>,
     ) {
-        let graph = &self.cascade.graphs()[level];
-        let check_offset = self.cascade.level_offset(level + 1);
+        // Clone the cascade handle (a pointer copy / `Arc` bump) so the graph
+        // borrow is independent of `self` while the decoder state mutates.
+        let cascade = self.cascade.clone();
+        let cascade: &Cascade = cascade.borrow();
+        let graph = &cascade.graphs()[level];
+        let check_offset = cascade.level_offset(level + 1);
         for &c in graph.left_neighbors(pos) {
             let check_global = check_offset + c as usize;
             let ci = check_global - self.check_base;
@@ -320,12 +335,14 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
 
     /// Recover the single unknown neighbour of a known check node.
     fn recover_single_neighbor(&mut self, check_global: usize, worklist: &mut Vec<(usize, S)>) {
-        let PacketRole::Level { level, pos } = self.cascade.role(check_global) else {
+        let cascade = self.cascade.clone();
+        let cascade: &Cascade = cascade.borrow();
+        let PacketRole::Level { level, pos } = cascade.role(check_global) else {
             unreachable!("check nodes are level packets");
         };
         debug_assert!(level >= 1);
-        let graph = &self.cascade.graphs()[level - 1];
-        let left_offset = self.cascade.level_offset(level - 1);
+        let graph = &cascade.graphs()[level - 1];
+        let left_offset = cascade.level_offset(level - 1);
         let missing = graph
             .check_neighbors(pos)
             .iter()
@@ -346,11 +363,13 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
 
     /// Attempt to recover the entire final cascade level through the MDS code.
     fn try_final_level(&mut self, worklist: &mut Vec<(usize, S)>) -> Result<()> {
-        let last_level = self.cascade.num_levels() - 1;
-        let level_offset = self.cascade.level_offset(last_level);
-        let level_size = self.cascade.level_sizes()[last_level];
-        let rs_offset = self.cascade.rs_offset();
-        let rs_checks = self.cascade.rs_checks();
+        let cascade = self.cascade.clone();
+        let cascade: &Cascade = cascade.borrow();
+        let last_level = cascade.num_levels() - 1;
+        let level_offset = cascade.level_offset(last_level);
+        let level_size = cascade.level_sizes()[last_level];
+        let rs_offset = cascade.rs_offset();
+        let rs_checks = cascade.rs_checks();
 
         // Borrow the known packets straight out of the value store: recovery
         // attempts (which can fire repeatedly near the completion threshold)
@@ -366,7 +385,7 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
                 received.push((level_size + j, v));
             }
         }
-        if let Some(level) = S::recover_final_level(self.cascade.final_code(), &received)? {
+        if let Some(level) = S::recover_final_level(cascade.final_code(), &received)? {
             self.rs_done = true;
             for (i, v) in level.into_iter().enumerate() {
                 let g = level_offset + i;
@@ -379,13 +398,24 @@ impl<'a, S: Symbol> PeelingDecoder<'a, S> {
     }
 }
 
-/// Decoder that carries real packet payloads.
-pub type PayloadDecoder<'a> = PeelingDecoder<'a, Vec<u8>>;
+/// Decoder that carries real packet payloads, borrowing its cascade.
+pub type PayloadDecoder<'a> = PeelingDecoder<Vec<u8>, &'a Cascade>;
 
 /// Index-only decoder used by the large-scale reception simulations.
-pub type SymbolicDecoder<'a> = PeelingDecoder<'a, Mark>;
+pub type SymbolicDecoder<'a> = PeelingDecoder<Mark, &'a Cascade>;
 
-impl<'a> SymbolicDecoder<'a> {
+/// Payload decoder that *owns* (a share of) its cascade, so it can outlive
+/// the [`crate::TornadoCode`] borrow that created it.  This is the decoder a
+/// long-lived protocol session holds across statistical decode attempts: the
+/// session feeds each received packet exactly once, instead of re-feeding its
+/// whole buffer into a fresh borrowing decoder per attempt.
+pub type OwnedPayloadDecoder = PeelingDecoder<Vec<u8>, Arc<Cascade>>;
+
+/// Index-only decoder that owns a share of its cascade (see
+/// [`OwnedPayloadDecoder`]).
+pub type OwnedSymbolicDecoder = PeelingDecoder<Mark, Arc<Cascade>>;
+
+impl<C: Borrow<Cascade> + Clone> PeelingDecoder<Mark, C> {
     /// Feed packet indices (no payloads) until the source is recoverable or
     /// the iterator is exhausted; returns the total number of packets consumed
     /// from the iterator (the paper's reception count — every packet pulled

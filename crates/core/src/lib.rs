@@ -60,7 +60,10 @@ pub mod symbol;
 
 pub use cascade::{Cascade, FinalCode, PacketRole};
 pub use codec::TornadoCode;
-pub use decode::{AddOutcome, PayloadDecoder, PeelingDecoder, SymbolicDecoder};
+pub use decode::{
+    AddOutcome, OwnedPayloadDecoder, OwnedSymbolicDecoder, PayloadDecoder, PeelingDecoder,
+    SymbolicDecoder,
+};
 pub use degree::DegreeDistribution;
 pub use error::{Result, TornadoError};
 pub use file::{reassemble_file, PacketizedFile};

@@ -104,6 +104,20 @@ impl TornadoProfile {
         }
     }
 
+    /// Look a built-in profile up by its wire name (`"tornado-a"`,
+    /// `"tornado-b"`).
+    ///
+    /// Returns `None` for unknown names; protocol layers should surface that
+    /// as a malformed-input error rather than silently substituting a default
+    /// (a client decoding with the wrong profile would reconstruct garbage).
+    pub fn by_name(name: &str) -> Option<TornadoProfile> {
+        match name {
+            "tornado-a" => Some(TORNADO_A),
+            "tornado-b" => Some(TORNADO_B),
+            _ => None,
+        }
+    }
+
     /// Effective final-level threshold for a given `k`.
     pub fn final_threshold_for(&self, k: usize) -> usize {
         self.final_level_threshold
@@ -155,6 +169,15 @@ mod tests {
         let p = TORNADO_A;
         assert_eq!(p.final_threshold_for(1000), p.final_level_threshold);
         assert_eq!(p.final_threshold_for(64_000), 4000);
+    }
+
+    #[test]
+    fn lookup_by_name_is_fallible() {
+        assert_eq!(TornadoProfile::by_name("tornado-a"), Some(TORNADO_A));
+        assert_eq!(TornadoProfile::by_name("tornado-b"), Some(TORNADO_B));
+        assert_eq!(TornadoProfile::by_name("tornado-c"), None);
+        assert_eq!(TornadoProfile::by_name(""), None);
+        assert_eq!(TornadoProfile::by_name("TORNADO-A"), None);
     }
 
     #[test]

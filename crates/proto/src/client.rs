@@ -1,98 +1,218 @@
-//! The prototype client: rebuild the code from the control information,
-//! collect data packets from however many layers the receiver is subscribed
-//! to, and reconstruct the file with the *statistical* decode strategy chosen
-//! in Section 7.2 — wait until roughly `(1 + ε)k` packets have arrived, try to
-//! decode, and go back to collecting if that was not yet enough.
+//! The client side of the prototype: a pure (sans-I/O) download state
+//! machine.
+//!
+//! [`ClientSession`] rebuilds the code from the [`ControlInfo`] fetched over
+//! the control channel and consumes datagrams one at a time through
+//! [`ClientSession::handle_datagram`], which reports what each datagram did
+//! as a [`ClientEvent`].  The session never touches a socket: a driver loop
+//! joins the groups in [`ClientSession::groups`] on its transport, pulls
+//! datagrams, and feeds them in.
+//!
+//! Decoding uses the *statistical* strategy chosen in Section 7.2 — wait
+//! until roughly `(1 + ε)k` distinct packets have arrived, try to decode, and
+//! go back to collecting if that was not yet enough.  The decoder is a
+//! persistent [`df_core::OwnedPayloadDecoder`]: every distinct packet is fed
+//! to it exactly once, and a failed attempt simply leaves the peeling state
+//! in place for the next batch, instead of re-feeding the whole buffer into
+//! a fresh decoder per attempt (which made the old API O(attempts · n)).
 
-use crate::server::ControlInfo;
+use crate::control::ControlInfo;
 use crate::wire::DataPacket;
 use bytes::Bytes;
 use df_core::{
-    reassemble_file, AddOutcome, FinalCode, PayloadDecoder, TornadoCode, TORNADO_A, TORNADO_B,
+    reassemble_file, OwnedPayloadDecoder, ReceptionCounter, TornadoCode, TornadoError,
+    TornadoProfile,
 };
-use serde::Serialize;
 
-/// Reception statistics for one download, mirroring Section 7.3's efficiency
-/// definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+/// Reception statistics for one download, backed by
+/// [`df_core::ReceptionCounter`] — the same accounting the reception
+/// simulations use, so the three Section 7.3 efficiency definitions are
+/// computed in exactly one place.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DownloadStats {
-    /// Packets received (after network loss), including duplicates.
-    pub received: usize,
-    /// Distinct encoding packets received.
-    pub distinct: usize,
-    /// Number of source packets in the file.
-    pub k: usize,
-    /// Number of decode attempts the statistical strategy made.
-    pub decode_attempts: usize,
+    counter: ReceptionCounter,
+    k: usize,
+    decode_attempts: usize,
 }
 
 impl DownloadStats {
+    fn new(n: usize, k: usize) -> Self {
+        DownloadStats {
+            counter: ReceptionCounter::new(n),
+            k,
+            decode_attempts: 0,
+        }
+    }
+
+    /// Record the reception of encoding packet `index`; true if it was new.
+    fn record(&mut self, index: usize) -> bool {
+        self.counter.record(index)
+    }
+
+    fn note_attempt(&mut self) {
+        self.decode_attempts += 1;
+    }
+
+    /// Packets received (after network loss), including duplicates.
+    pub fn received(&self) -> usize {
+        self.counter.total()
+    }
+
+    /// Distinct encoding packets received.
+    pub fn distinct(&self) -> usize {
+        self.counter.distinct()
+    }
+
+    /// Number of source packets in the file.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of decode attempts the statistical strategy made.
+    pub fn decode_attempts(&self) -> usize {
+        self.decode_attempts
+    }
+
     /// Reception efficiency `η = k / received`.
     pub fn reception_efficiency(&self) -> f64 {
-        if self.received == 0 {
-            0.0
-        } else {
-            self.k as f64 / self.received as f64
-        }
+        self.counter.reception_efficiency(self.k)
     }
 
     /// Coding efficiency `η_c = k / distinct`.
     pub fn coding_efficiency(&self) -> f64 {
-        if self.distinct == 0 {
-            0.0
-        } else {
-            self.k as f64 / self.distinct as f64
-        }
+        self.counter.coding_efficiency(self.k)
     }
 
     /// Distinctness efficiency `η_d = distinct / received`.
     pub fn distinctness_efficiency(&self) -> f64 {
-        if self.received == 0 {
-            0.0
-        } else {
-            self.distinct as f64 / self.received as f64
-        }
+        self.counter.distinctness_efficiency()
     }
 }
 
-/// A downloading client for one session.
+/// What one datagram did to the session state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// The datagram was malformed, foreign, or carried an unexpected payload
+    /// length; the best-effort channel delivered noise and it was dropped.
+    Ignored,
+    /// A duplicate of an already-received packet (counted, not buffered).
+    Duplicate,
+    /// A new packet was buffered; not enough have accumulated yet for the
+    /// statistical strategy to attempt a decode.
+    Buffered,
+    /// A new packet triggered a decode attempt that did not yet complete;
+    /// the strategy will wait for ~2 % of `k` more packets before retrying.
+    AttemptFailed,
+    /// The file is fully reconstructed (also returned for every datagram fed
+    /// after completion).
+    Complete,
+}
+
+/// Most layers any announced session may use.  The reverse-binary schedule's
+/// block size is `2^(layers−1)`, so real deployments use a handful; the cap
+/// exists to bound what a malicious control channel can make a driver do
+/// (each advertised group costs the driver a `join`, i.e. a socket).
+pub const MAX_LAYERS: usize = 32;
+
+/// Most source packets any announced session may claim.  2²⁴ packets is an
+/// ~8 GB file at the paper's 500-byte payloads — far beyond the benchmarks —
+/// while keeping the cost of rebuilding a hostile session's cascade bounded
+/// (code construction is `O(k)` memory and must not run on unvalidated
+/// wire-sourced sizes).
+pub const MAX_K: usize = 1 << 24;
+
+/// A downloading client session for one announced session.
 #[derive(Debug)]
-pub struct Client {
+pub struct ClientSession {
     control: ControlInfo,
     code: TornadoCode,
-    buffered: Vec<(usize, Vec<u8>)>,
-    seen: Vec<bool>,
+    decoder: OwnedPayloadDecoder,
+    /// Distinct packets received but not yet fed to the decoder (the
+    /// statistical strategy feeds them in batches).
+    staged: Vec<(usize, Vec<u8>)>,
     stats: DownloadStats,
-    /// Overhead margin the statistical strategy waits for before its first
+    /// Overhead margin the statistical strategy waits for before its next
     /// decode attempt.
     attempt_margin: f64,
     file: Option<Vec<u8>>,
 }
 
-impl Client {
+impl ClientSession {
     /// Join a session described by `control` (obtained from the server's
     /// control channel).
     ///
     /// # Errors
     ///
-    /// Propagates code-construction errors (e.g. nonsensical control data).
+    /// Returns [`TornadoError::MalformedInput`] for an unknown profile name
+    /// or control parameters inconsistent with the rebuilt code, and
+    /// propagates code-construction errors.  The control channel is
+    /// untrusted input, so every cheap structural check — profile name,
+    /// layer count, group-range overflow, packet size, and a bound on `k` —
+    /// runs *before* the `O(k)` code construction; a hostile announcement
+    /// cannot make a client allocate an unbounded cascade.
     pub fn new(control: ControlInfo) -> df_core::Result<Self> {
-        let profile = if control.profile == "tornado-b" {
-            TORNADO_B
-        } else {
-            TORNADO_A
-        };
+        let malformed = |reason: String| TornadoError::MalformedInput { reason };
+        let profile = TornadoProfile::by_name(&control.profile)
+            .ok_or_else(|| malformed(format!("unknown Tornado profile {:?}", control.profile)))?;
+        if control.layers == 0 || control.layers > MAX_LAYERS {
+            return Err(malformed(format!(
+                "control info advertises {} layers (expected 1..={MAX_LAYERS})",
+                control.layers
+            )));
+        }
+        if control
+            .base_group
+            .checked_add(control.layers as u32 - 1)
+            .is_none()
+        {
+            return Err(malformed(format!(
+                "group range {} + {} layers overflows the group space",
+                control.base_group, control.layers
+            )));
+        }
+        // Largest payload a data packet can carry over UDP: the 65 507-byte
+        // UDP maximum minus the 12-byte header, minus the 2-byte pad a
+        // GF(2^16) final code adds to check packets at odd sizes.
+        const MAX_PACKET_SIZE: usize = 65_507 - crate::wire::HEADER_LEN - 2;
+        if control.packet_size == 0 || control.packet_size > MAX_PACKET_SIZE {
+            return Err(malformed(format!(
+                "packet size {} cannot be framed into a UDP datagram \
+                 (expected 1..={MAX_PACKET_SIZE})",
+                control.packet_size
+            )));
+        }
+        if control.k == 0 || control.k > MAX_K {
+            return Err(malformed(format!(
+                "control info advertises k = {} (expected 1..={MAX_K})",
+                control.k
+            )));
+        }
+        if control.file_len.div_ceil(control.packet_size) != control.k {
+            return Err(malformed(format!(
+                "file length {} at packet size {} yields {} packets, not k = {}",
+                control.file_len,
+                control.packet_size,
+                control.file_len.div_ceil(control.packet_size),
+                control.k
+            )));
+        }
         let code = TornadoCode::with_profile(control.k, profile, control.code_seed)?;
-        let seen = vec![false; code.n()];
-        Ok(Client {
-            stats: DownloadStats {
-                k: control.k,
-                ..DownloadStats::default()
-            },
+        if code.n() != control.n {
+            return Err(malformed(format!(
+                "control info advertises n = {} but profile {:?} at k = {} yields n = {}",
+                control.n,
+                control.profile,
+                control.k,
+                code.n()
+            )));
+        }
+        let decoder = code.owned_decoder();
+        Ok(ClientSession {
+            stats: DownloadStats::new(code.n(), code.k()),
             control,
             code,
-            buffered: Vec::new(),
-            seen,
+            decoder,
+            staged: Vec::new(),
             attempt_margin: 0.06,
             file: None,
         })
@@ -101,6 +221,12 @@ impl Client {
     /// The session parameters this client joined with.
     pub fn control_info(&self) -> &ControlInfo {
         &self.control
+    }
+
+    /// The multicast groups the session transmits on; the I/O driver joins
+    /// these (or a prefix of them, for a layered receiver) on its transport.
+    pub fn groups(&self) -> impl Iterator<Item = u32> + '_ {
+        self.control.groups()
     }
 
     /// Reception statistics so far.
@@ -118,91 +244,88 @@ impl Client {
         self.file.is_some()
     }
 
-    /// Feed one received datagram to the client.  Returns `true` once the
-    /// file has been fully reconstructed.
-    pub fn handle_datagram(&mut self, datagram: Bytes) -> bool {
+    /// Total packets fed to the persistent decoder so far.  At most one per
+    /// distinct received packet, however many decode attempts were needed —
+    /// the invariant the owned-decoder redesign exists for.
+    pub fn decoder_packets_fed(&self) -> usize {
+        self.decoder.received_total()
+    }
+
+    /// Feed one received datagram to the session.
+    pub fn handle_datagram(&mut self, datagram: Bytes) -> ClientEvent {
         if self.file.is_some() {
-            return true;
+            return ClientEvent::Complete;
         }
         let Some(pkt) = DataPacket::from_bytes(datagram) else {
-            return false;
+            return ClientEvent::Ignored;
         };
         let idx = pkt.header.packet_index as usize;
         if idx >= self.code.n() {
             // Corrupted or foreign packet; the channel is best-effort, drop it.
-            return false;
+            return ClientEvent::Ignored;
         }
-        // For odd packet sizes a GF(2^16) final code pads its check packets by
-        // two bytes (see `df_core::FinalCode`); every other packet carries
-        // exactly `packet_size` bytes.
-        let expected = if self.control.packet_size % 2 == 1
-            && idx >= self.code.cascade().rs_offset()
-            && matches!(self.code.cascade().final_code(), FinalCode::Large(_))
+        if pkt.payload.len()
+            != self
+                .code
+                .expected_payload_len(idx, self.control.packet_size)
         {
-            self.control.packet_size + 2
-        } else {
-            self.control.packet_size
-        };
-        if pkt.payload.len() != expected {
-            return false;
+            return ClientEvent::Ignored;
         }
-        self.stats.received += 1;
-        if !self.seen[idx] {
-            self.seen[idx] = true;
-            self.stats.distinct += 1;
-            self.buffered.push((idx, pkt.payload.to_vec()));
+        if !self.stats.record(idx) {
+            return ClientEvent::Duplicate;
         }
+        self.staged.push((idx, pkt.payload.to_vec()));
         // Statistical strategy: only attempt a decode once enough distinct
         // packets have accumulated; after a failed attempt, wait for another
         // 2 % of k before trying again.
         let threshold = (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
-        if self.stats.distinct >= threshold {
-            self.stats.decode_attempts += 1;
-            let mut decoder: PayloadDecoder<'_> = self.code.decoder();
-            let mut complete = false;
-            for (i, payload) in &self.buffered {
-                // By reference: the buffer keeps ownership, so a failed
-                // statistical attempt only clones the packets that advanced
-                // the peeling, not the whole buffer.
-                match decoder.add_packet_ref(*i, payload) {
-                    Ok(AddOutcome::Complete) => {
-                        complete = true;
-                        break;
-                    }
-                    Ok(_) => {}
-                    Err(_) => return false,
-                }
-            }
-            if complete {
-                let source = decoder.source().expect("decoder reported completion");
-                self.file = Some(reassemble_file(&source, self.control.file_len));
-                return true;
-            }
-            self.attempt_margin += 0.02;
+        if self.stats.distinct() < threshold {
+            return ClientEvent::Buffered;
         }
-        false
+        self.stats.note_attempt();
+        for (i, payload) in self.staged.drain(..) {
+            // The staged packets are deduplicated and validated, so the
+            // decoder can take ownership outright; an error here would mean
+            // the validation above let something malformed through, so drop
+            // the packet like any other channel noise.
+            match self.decoder.add_packet(i, payload) {
+                Ok(df_core::AddOutcome::Complete) => break,
+                Ok(_) => {}
+                Err(_) => continue,
+            }
+        }
+        if self.decoder.is_complete() {
+            let source = self.decoder.source().expect("decoder reported completion");
+            self.file = Some(reassemble_file(&source, self.control.file_len));
+            ClientEvent::Complete
+        } else {
+            self.attempt_margin += 0.02;
+            ClientEvent::AttemptFailed
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::Server;
-    use crate::transport::SimMulticast;
+    use crate::server::{ServerSession, SessionConfig};
+    use crate::transport::{SimMulticast, Transport};
+    use df_core::{FinalCode, TORNADO_B};
 
-    fn run_download(loss: f64, layers: usize, data_len: usize) -> (Client, Vec<u8>) {
+    fn run_download(loss: f64, layers: usize, data_len: usize) -> (ClientSession, Vec<u8>) {
         let data: Vec<u8> = (0..data_len).map(|i| (i * 131 % 251) as u8).collect();
-        let mut server = Server::with_defaults(&data, layers, 7).unwrap();
-        let mut net = SimMulticast::new(11);
-        let rx = net.add_receiver(loss);
-        for layer in 0..layers as u32 {
-            rx.subscribe(layer);
+        let mut server = ServerSession::with_defaults(&data, layers, 7).unwrap();
+        let net = SimMulticast::new(11);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(loss);
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        for group in client.groups() {
+            rx.join(group).unwrap();
         }
-        let mut client = Client::new(server.control_info().clone()).unwrap();
         'outer: for _ in 0..10_000 {
-            server.send_round(&mut net);
+            server.send_round(&mut tx);
             while let Some((_group, datagram)) = rx.recv() {
-                if client.handle_datagram(datagram) {
+                if client.handle_datagram(datagram) == ClientEvent::Complete {
                     break 'outer;
                 }
             }
@@ -217,7 +340,7 @@ mod tests {
         assert_eq!(client.file().unwrap(), &data[..]);
         let stats = client.stats();
         assert!(stats.distinctness_efficiency() > 0.99);
-        assert!(stats.decode_attempts >= 1);
+        assert!(stats.decode_attempts() >= 1);
     }
 
     #[test]
@@ -231,9 +354,12 @@ mod tests {
     #[test]
     fn corrupted_and_foreign_datagrams_are_ignored() {
         let data = vec![9u8; 20_000];
-        let server = Server::with_defaults(&data, 1, 3).unwrap();
-        let mut client = Client::new(server.control_info().clone()).unwrap();
-        assert!(!client.handle_datagram(Bytes::from_static(b"short")));
+        let server = ServerSession::with_defaults(&data, 1, 3).unwrap();
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        assert_eq!(
+            client.handle_datagram(Bytes::from_static(b"short")),
+            ClientEvent::Ignored
+        );
         // Well-formed header but index out of range.
         let bogus = DataPacket::new(
             crate::wire::PacketHeader {
@@ -243,29 +369,144 @@ mod tests {
             },
             Bytes::from(vec![0u8; 500]),
         );
-        assert!(!client.handle_datagram(bogus.to_bytes()));
-        assert_eq!(client.stats().received, 0);
+        assert_eq!(
+            client.handle_datagram(bogus.to_bytes()),
+            ClientEvent::Ignored
+        );
+        // Right index, wrong payload length.
+        let short = DataPacket::new(
+            crate::wire::PacketHeader {
+                packet_index: 0,
+                serial: 0,
+                group: 0,
+            },
+            Bytes::from(vec![0u8; 499]),
+        );
+        assert_eq!(
+            client.handle_datagram(short.to_bytes()),
+            ClientEvent::Ignored
+        );
+        assert_eq!(client.stats().received(), 0);
+    }
+
+    #[test]
+    fn unknown_profile_name_is_a_malformed_input_error() {
+        let server = ServerSession::with_defaults(&[1u8; 10_000], 1, 5).unwrap();
+        let mut control = server.control_info().clone();
+        control.profile = "tornado-c".to_string(); // a typo, not a default
+        match ClientSession::new(control) {
+            Err(TornadoError::MalformedInput { reason }) => {
+                assert!(reason.contains("tornado-c"), "unhelpful reason: {reason}")
+            }
+            other => panic!("expected MalformedInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_layer_and_group_ranges_are_rejected() {
+        let server = ServerSession::with_defaults(&[1u8; 10_000], 1, 5).unwrap();
+        let base = server.control_info().clone();
+        for (layers, base_group) in [
+            (0usize, 0u32),
+            (MAX_LAYERS + 1, 0),
+            (4_000_000_000, 0),
+            (2, u32::MAX),
+            (MAX_LAYERS, u32::MAX - 3),
+        ] {
+            let mut control = base.clone();
+            control.layers = layers;
+            control.base_group = base_group;
+            assert!(
+                matches!(
+                    ClientSession::new(control),
+                    Err(TornadoError::MalformedInput { .. })
+                ),
+                "layers = {layers}, base_group = {base_group} must be rejected"
+            );
+        }
+        // The boundary itself is fine.
+        let mut control = base.clone();
+        control.base_group = u32::MAX;
+        control.layers = 1;
+        assert!(ClientSession::new(control).is_ok());
+    }
+
+    #[test]
+    fn hostile_sizes_are_rejected_before_code_construction() {
+        let server = ServerSession::with_defaults(&[1u8; 10_000], 1, 5).unwrap();
+        let base = server.control_info().clone();
+        // (file_len, packet_size, k) triples a hostile control channel might
+        // claim; each must fail fast — cheap validation, no O(k) cascade.
+        for (file_len, packet_size, k) in [
+            (u32::MAX as usize * 500, 500, u32::MAX as usize), // giant k
+            (10_000, 500, MAX_K + 1),                          // above the cap
+            (10_000, 500, 0),                                  // zero k
+            (10_000, 0, 20),                                   // zero packet size
+            (10_000, 1 << 20, 20),                             // impossible UDP payload
+            (10_000, 65_500, 1), // framed datagram would exceed the UDP maximum
+            (10_000, 500, 21),   // k inconsistent with file_len
+            (0, 500, 20),        // empty file, nonzero k
+        ] {
+            let mut control = base.clone();
+            control.file_len = file_len;
+            control.packet_size = packet_size;
+            control.k = k;
+            let t0 = std::time::Instant::now();
+            assert!(
+                matches!(
+                    ClientSession::new(control),
+                    Err(TornadoError::MalformedInput { .. })
+                ),
+                "file_len = {file_len}, packet_size = {packet_size}, k = {k} must be rejected"
+            );
+            assert!(
+                t0.elapsed() < std::time::Duration::from_millis(100),
+                "rejection of k = {k} was not cheap"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_control_n_is_rejected() {
+        let server = ServerSession::with_defaults(&[1u8; 10_000], 1, 5).unwrap();
+        let mut control = server.control_info().clone();
+        control.n += 1;
+        assert!(matches!(
+            ClientSession::new(control),
+            Err(TornadoError::MalformedInput { .. })
+        ));
     }
 
     #[test]
     fn odd_packet_size_with_gf16_final_block_downloads() {
         // An odd packet size with Tornado B yields a pure GF(2^16) MDS block
         // whose check packets carry two padding bytes (501 bytes here); the
-        // client must accept them and still reconstruct the file exactly.
+        // client learns that through `TornadoCode::expected_payload_len` and
+        // still reconstructs the file exactly.
         let data: Vec<u8> = (0..99_800).map(|i| (i * 37 % 251) as u8).collect();
-        let mut server = Server::new(&data, 499, 1, df_core::TORNADO_B, 9).unwrap();
+        let mut server = ServerSession::new(
+            &data,
+            SessionConfig {
+                packet_size: 499,
+                profile: TORNADO_B,
+                code_seed: 9,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
         assert!(matches!(
             server.code().cascade().final_code(),
             FinalCode::Large(_)
         ));
-        let mut net = SimMulticast::new(21);
-        let rx = net.add_receiver(0.1);
-        rx.subscribe(0);
-        let mut client = Client::new(server.control_info().clone()).unwrap();
+        let net = SimMulticast::new(21);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.1);
+        rx.join(0).unwrap();
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
         'outer: for _ in 0..10_000 {
-            server.send_round(&mut net);
+            server.send_round(&mut tx);
             while let Some((_group, datagram)) = rx.recv() {
-                if client.handle_datagram(datagram) {
+                if client.handle_datagram(datagram) == ClientEvent::Complete {
                     break 'outer;
                 }
             }
@@ -280,5 +521,81 @@ mod tests {
         let s = client.stats();
         let eta = s.reception_efficiency();
         assert!((eta - s.coding_efficiency() * s.distinctness_efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistical_attempts_feed_the_persistent_decoder_at_most_once_per_packet() {
+        // A file large enough that the needed reception overhead exceeds the
+        // initial 6 % margin forces several failed statistical attempts; the
+        // owned decoder must still see every distinct packet exactly once in
+        // total (the old API re-fed the entire buffer on every attempt).
+        let (client, _) = run_download(0.4, 1, 1_000_000);
+        assert!(client.is_complete());
+        let stats = client.stats();
+        assert!(
+            stats.decode_attempts() >= 2,
+            "premise: need multiple attempts, got {}",
+            stats.decode_attempts()
+        );
+        assert!(
+            client.decoder_packets_fed() <= stats.distinct(),
+            "decoder saw {} packets for only {} distinct receptions — \
+             packets were re-fed across attempts",
+            client.decoder_packets_fed(),
+            stats.distinct()
+        );
+    }
+
+    #[test]
+    fn duplicates_never_reach_the_decoder() {
+        let data = vec![8u8; 40_000];
+        let mut server = ServerSession::with_defaults(&data, 1, 17).unwrap();
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        let (_, datagram) = server.poll_transmit().unwrap();
+        assert_eq!(
+            client.handle_datagram(datagram.clone()),
+            ClientEvent::Buffered
+        );
+        assert_eq!(client.handle_datagram(datagram), ClientEvent::Duplicate);
+        let stats = client.stats();
+        assert_eq!((stats.received(), stats.distinct()), (2, 1));
+        // Below the statistical threshold nothing is fed yet, and the
+        // duplicate never will be.
+        assert_eq!(client.decoder_packets_fed(), 0);
+    }
+
+    #[test]
+    fn events_progress_buffered_to_complete() {
+        let data = vec![5u8; 30_000];
+        let mut server = ServerSession::with_defaults(&data, 1, 13).unwrap();
+        let net = SimMulticast::new(2);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
+        rx.join(0).unwrap();
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        let mut saw_buffered = false;
+        'outer: loop {
+            server.send_round(&mut tx);
+            while let Some((_g, datagram)) = rx.recv() {
+                match client.handle_datagram(datagram.clone()) {
+                    ClientEvent::Buffered => saw_buffered = true,
+                    ClientEvent::Complete => {
+                        // Feeding after completion is idempotent.
+                        assert_eq!(client.handle_datagram(datagram), ClientEvent::Complete);
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_buffered && client.is_complete());
+        // Once complete, every further datagram just reports Complete.
+        server.send_round(&mut tx);
+        let mut fed_after_completion = 0;
+        while let Some((_g, d)) = rx.recv() {
+            assert_eq!(client.handle_datagram(d), ClientEvent::Complete);
+            fed_after_completion += 1;
+        }
+        assert!(fed_after_completion > 0);
     }
 }

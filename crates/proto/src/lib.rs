@@ -1,31 +1,54 @@
 //! # df-proto — the prototype bulk-data distribution protocol (Section 7)
 //!
-//! The paper's experimental system has a server that encodes a file with
-//! Tornado A, announces the session parameters over a unicast UDP control
-//! channel, and then carousels the encoding over one or more multicast
+//! The paper's experimental system has a server that encodes files with
+//! Tornado codes, announces the session parameters over a unicast UDP control
+//! channel, and then carousels each encoding over one or more multicast
 //! groups; clients fetch the control information, subscribe, collect packets
 //! through whatever loss their path imposes, and run the *statistical* decode
 //! strategy (gather ≈ (1+ε)k packets, try to decode, fetch more on failure).
 //!
-//! This crate reproduces that system over a pluggable [`transport::Transport`]:
-//! [`transport::SimMulticast`] is a deterministic in-memory lossy multicast
-//! used by the tests, the benchmarks and the Figure 8 reproduction, and the
-//! same server/client code can be pointed at real UDP sockets (see the
-//! `udp_fountain` example at the workspace root).
+//! ## Sans-I/O design
+//!
+//! The protocol logic is written **sans-I/O**: [`ServerSession`],
+//! [`FountainServer`] and [`ClientSession`] are pure state machines that
+//! never touch a socket, a clock or a thread.
+//!
+//! * The server side *produces* datagrams: [`FountainServer::poll_transmit`]
+//!   (or [`ServerSession::poll_transmit`] for a single session) yields
+//!   `(group, datagram)` pairs, and [`FountainServer::handle_control_datagram`]
+//!   maps a raw control request to a raw response.
+//! * The client side *consumes* datagrams: [`ClientSession::handle_datagram`]
+//!   digests one datagram and reports what it did as a [`ClientEvent`].
+//!
+//! The **driver loop owns the I/O**: it holds a [`Transport`] (and, for a
+//! real deployment, the control socket), joins the groups a session asks for
+//! ([`ClientSession::groups`]), pumps `poll_transmit` output into
+//! `Transport::send`, and feeds `Transport::recv` output into
+//! `handle_datagram`.  Pacing, blocking, threading and async are all driver
+//! decisions — which is why the same session code runs unchanged over the
+//! deterministic in-memory [`SimMulticast`] in tests and over real UDP
+//! sockets ([`UdpMulticastTransport`]) in the `udp_fountain` example at the
+//! workspace root and the UDP integration tests, and why a future async
+//! driver needs no changes to this crate.
 //!
 //! The 12-byte packet header (packet index, serial number, group number) and
 //! the 500-byte default payload match Section 7.3's description of the
-//! prototype exactly.
+//! prototype exactly; the control channel speaks the binary
+//! [`ControlRequest`]/[`ControlResponse`] framing in [`control`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod control;
 pub mod server;
 pub mod transport;
+pub mod udp;
 pub mod wire;
 
-pub use client::{Client, DownloadStats};
-pub use server::{ControlInfo, Server};
-pub use transport::{SimMulticast, Transport};
+pub use client::{ClientEvent, ClientSession, DownloadStats};
+pub use control::{ControlInfo, ControlRequest, ControlResponse};
+pub use server::{FountainServer, ServerSession, SessionConfig};
+pub use transport::{SimEndpoint, SimMulticast, Transport};
+pub use udp::{GroupAddressing, UdpMulticastTransport};
 pub use wire::{DataPacket, PacketHeader, HEADER_LEN};

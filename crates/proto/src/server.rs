@@ -1,81 +1,112 @@
-//! The prototype server: encode the file, answer control requests, and
-//! carousel the encoding over the session's multicast layers using the
-//! reverse-binary schedule.
+//! The server side of the prototype: pure (sans-I/O) carousel state machines.
+//!
+//! [`ServerSession`] encodes one file and yields the datagrams of the
+//! reverse-binary layered schedule through [`ServerSession::poll_transmit`];
+//! it never touches a socket.  [`FountainServer`] owns many sessions, hands
+//! each a disjoint range of multicast groups, interleaves their carousels
+//! fairly, and answers [`ControlRequest`]s — the whole of Section 7.1's
+//! deployed server, minus the I/O, which belongs to whatever driver loop owns
+//! the [`crate::Transport`].
 
+use crate::control::{ControlInfo, ControlRequest, ControlResponse};
 use crate::transport::Transport;
 use crate::wire::{DataPacket, PacketHeader};
 use bytes::Bytes;
 use df_core::{PacketizedFile, TornadoCode, TornadoProfile, TORNADO_A};
 use df_mcast::TransmissionSchedule;
-use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
-/// The session parameters a client fetches over the control channel before
-/// subscribing (the paper's "UDP unicast thread which provides various
-/// control information such as multicast group information and file length").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ControlInfo {
-    /// Original file length in bytes.
-    pub file_len: usize,
-    /// Payload bytes per packet.
+/// Parameters for one carousel session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Payload bytes per packet (the paper's prototype uses 500).
     pub packet_size: usize,
-    /// Number of source packets `k`.
-    pub k: usize,
-    /// Number of encoding packets `n`.
-    pub n: usize,
-    /// Seed from which the Tornado graph structure is rebuilt client-side.
-    pub code_seed: u64,
     /// Number of multicast layers.
     pub layers: usize,
-    /// Profile name ("tornado-a" / "tornado-b").
-    pub profile: String,
+    /// Tornado profile to encode with.
+    pub profile: TornadoProfile,
+    /// Seed the client rebuilds the graph structure from.
+    pub code_seed: u64,
+    /// First multicast group of the session (layer `l` transmits on
+    /// `base_group + l`).  [`FountainServer::add_session`] overrides this
+    /// with the next free group range.
+    pub base_group: u32,
+    /// Session identifier.  [`FountainServer::add_session`] overrides this
+    /// with the next free id.
+    pub session_id: u32,
 }
 
-/// The prototype server.
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            packet_size: 500,
+            layers: 1,
+            profile: TORNADO_A,
+            code_seed: 0,
+            base_group: 0,
+            session_id: 0,
+        }
+    }
+}
+
+/// A single carousel session as a pure state machine.
+///
+/// Construction encodes the file; afterwards the session only hands out
+/// datagrams.  A driver loop pumps it:
+///
+/// ```text
+/// loop {
+///     while let Some((group, datagram)) = session.poll_transmit() {
+///         transport.send(group, datagram);   // the driver owns the socket
+///     }
+///     session.advance_round();               // and the pacing
+/// }
+/// ```
 #[derive(Debug)]
-pub struct Server {
+pub struct ServerSession {
     code: TornadoCode,
     encoding: Vec<Vec<u8>>,
     schedule: TransmissionSchedule,
     control: ControlInfo,
     serial: u32,
     round: usize,
+    /// `(layer, encoding index)` pairs still to transmit this round.
+    pending: VecDeque<(usize, usize)>,
 }
 
-impl Server {
-    /// Encode `data` with the given packet size, profile and seed, and prepare
-    /// a session over `layers` multicast layers.
+impl ServerSession {
+    /// Encode `data` under `config` and prepare the carousel.
     ///
     /// # Errors
     ///
     /// Propagates packetisation and encoding errors from `df-core`.
-    pub fn new(
-        data: &[u8],
-        packet_size: usize,
-        layers: usize,
-        profile: TornadoProfile,
-        code_seed: u64,
-    ) -> df_core::Result<Self> {
-        let file = PacketizedFile::split(data, packet_size)?;
-        let code = TornadoCode::with_profile(file.num_packets(), profile, code_seed)?;
+    pub fn new(data: &[u8], config: SessionConfig) -> df_core::Result<Self> {
+        let file = PacketizedFile::split(data, config.packet_size)?;
+        let code = TornadoCode::with_profile(file.num_packets(), config.profile, config.code_seed)?;
         let encoding = code.encode(file.packets())?;
-        let schedule = TransmissionSchedule::new(layers, code.n());
+        let schedule = TransmissionSchedule::new(config.layers, code.n());
         let control = ControlInfo {
+            session_id: config.session_id,
             file_len: file.file_len(),
-            packet_size,
+            packet_size: config.packet_size,
             k: code.k(),
             n: code.n(),
-            code_seed,
-            layers,
-            profile: profile.name.to_string(),
+            code_seed: config.code_seed,
+            layers: config.layers,
+            base_group: config.base_group,
+            profile: config.profile.name.to_string(),
         };
-        Ok(Server {
+        let mut session = ServerSession {
             code,
             encoding,
             schedule,
             control,
             serial: 0,
             round: 0,
-        })
+            pending: VecDeque::new(),
+        };
+        session.refill_round();
+        Ok(session)
     }
 
     /// Convenience constructor using the paper's defaults: Tornado A and
@@ -83,9 +114,16 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// See [`Server::new`].
+    /// See [`ServerSession::new`].
     pub fn with_defaults(data: &[u8], layers: usize, code_seed: u64) -> df_core::Result<Self> {
-        Self::new(data, 500, layers, TORNADO_A, code_seed)
+        Self::new(
+            data,
+            SessionConfig {
+                layers,
+                code_seed,
+                ..SessionConfig::default()
+            },
+        )
     }
 
     /// The control information a client needs to join the session.
@@ -93,31 +131,63 @@ impl Server {
         &self.control
     }
 
+    /// This session's identifier.
+    pub fn session_id(&self) -> u32 {
+        self.control.session_id
+    }
+
     /// The Tornado code in use (exposed for tests and benchmarks).
     pub fn code(&self) -> &TornadoCode {
         &self.code
     }
 
-    /// Transmit one full round of the layered schedule over `transport`.
-    ///
-    /// Every layer sends its scheduled packets for the current round on its
-    /// own multicast group; group numbers equal layer numbers.
-    pub fn send_round<T: Transport>(&mut self, transport: &mut T) {
+    /// The next datagram to transmit this round, as `(group, datagram)`, or
+    /// `None` once the round's schedule is exhausted (call
+    /// [`ServerSession::advance_round`] to start the next round).
+    pub fn poll_transmit(&mut self) -> Option<(u32, Bytes)> {
+        let (layer, idx) = self.pending.pop_front()?;
+        let group = self.control.base_group + layer as u32;
+        let header = PacketHeader {
+            packet_index: idx as u32,
+            serial: self.serial,
+            group,
+        };
+        // Frame straight from the retained encoding: the carousel re-sends
+        // every packet forever, so an extra per-datagram payload copy here
+        // would be an unbounded stream of redundant allocations.
+        let datagram = DataPacket::frame(&header, &self.encoding[idx]);
+        self.serial = self.serial.wrapping_add(1);
+        Some((group, datagram))
+    }
+
+    /// True when the current round's schedule has been fully polled.
+    pub fn round_complete(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Begin the next round of the layered schedule, discarding whatever the
+    /// driver chose not to transmit of the current one.
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+        self.refill_round();
+    }
+
+    fn refill_round(&mut self) {
+        self.pending.clear();
         for layer in 0..self.schedule.layers() {
             for idx in self.schedule.transmission(layer, self.round) {
-                let pkt = DataPacket::new(
-                    PacketHeader {
-                        packet_index: idx as u32,
-                        serial: self.serial,
-                        group: layer as u32,
-                    },
-                    Bytes::from(self.encoding[idx].clone()),
-                );
-                transport.send(layer as u32, pkt.to_bytes());
-                self.serial = self.serial.wrapping_add(1);
+                self.pending.push_back((layer, idx));
             }
         }
-        self.round += 1;
+    }
+
+    /// Drive one full round through a transport (a convenience driver on top
+    /// of [`ServerSession::poll_transmit`]).
+    pub fn send_round<T: Transport>(&mut self, transport: &mut T) {
+        while let Some((group, datagram)) = self.poll_transmit() {
+            transport.send(group, datagram);
+        }
+        self.advance_round();
     }
 
     /// Number of complete rounds transmitted so far.
@@ -131,42 +201,288 @@ impl Server {
     }
 }
 
+/// A multi-session carousel server: many files to many group sets
+/// concurrently, plus the control channel that announces them.
+///
+/// Sessions are added with [`FountainServer::add_session`], which assigns
+/// each one a fresh session id and the next free contiguous range of
+/// multicast groups.  [`FountainServer::poll_transmit`] interleaves the
+/// sessions' carousels round-robin, one datagram at a time, so a driver loop
+/// serves every session concurrently through a single transport:
+///
+/// ```text
+/// while running {
+///     if let Some((group, datagram)) = server.poll_transmit() {
+///         transport.send(group, datagram);
+///     }
+///     while let Some(request) = control_socket.try_recv() {
+///         control_socket.reply(server.handle_control_datagram(&request));
+///     }
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct FountainServer {
+    sessions: Vec<ServerSession>,
+    next_group: u32,
+    next_id: u32,
+    cursor: usize,
+}
+
+impl FountainServer {
+    /// A server with no sessions yet.
+    pub fn new() -> Self {
+        FountainServer::default()
+    }
+
+    /// Encode `data` and add it as a new carousel session.
+    ///
+    /// `config.session_id` and `config.base_group` are overridden with the
+    /// next free id and group range; the returned id is what clients pass to
+    /// [`ControlRequest::Describe`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerSession::new`].
+    pub fn add_session(&mut self, data: &[u8], config: SessionConfig) -> df_core::Result<u32> {
+        let config = SessionConfig {
+            session_id: self.next_id,
+            base_group: self.next_group,
+            ..config
+        };
+        let session = ServerSession::new(data, config)?;
+        self.next_group += config.layers as u32;
+        self.next_id += 1;
+        let id = session.session_id();
+        self.sessions.push(session);
+        Ok(id)
+    }
+
+    /// The active sessions, in the order they were added.
+    pub fn sessions(&self) -> &[ServerSession] {
+        &self.sessions
+    }
+
+    /// Look one session up by id.
+    pub fn session(&self, session_id: u32) -> Option<&ServerSession> {
+        self.sessions.iter().find(|s| s.session_id() == session_id)
+    }
+
+    /// Answer one control request.
+    pub fn handle_control(&self, request: &ControlRequest) -> ControlResponse {
+        match *request {
+            ControlRequest::ListSessions => ControlResponse::SessionList {
+                session_ids: self.sessions.iter().map(|s| s.session_id()).collect(),
+            },
+            ControlRequest::Describe { session_id } => match self.session(session_id) {
+                Some(s) => ControlResponse::Session {
+                    info: s.control_info().clone(),
+                },
+                None => ControlResponse::UnknownSession { session_id },
+            },
+        }
+    }
+
+    /// Answer one raw control datagram, producing the raw response datagram —
+    /// the whole wire-level control channel in one call.  Malformed requests
+    /// get a [`ControlResponse::BadRequest`] rather than silence, so a
+    /// misbehaving client fails fast instead of timing out.
+    pub fn handle_control_datagram(&self, datagram: &[u8]) -> Bytes {
+        match ControlRequest::from_bytes(datagram) {
+            Some(request) => self.handle_control(&request),
+            None => ControlResponse::BadRequest,
+        }
+        .to_bytes()
+    }
+
+    /// The next datagram to transmit across all sessions, round-robin.
+    ///
+    /// Rounds advance automatically — the carousel never ends — so this
+    /// returns `None` only when the server has no sessions.  The driver owns
+    /// the pacing: call as fast as the outgoing link (or the test) allows.
+    pub fn poll_transmit(&mut self) -> Option<(u32, Bytes)> {
+        let n = self.sessions.len();
+        for probe in 0..n {
+            let i = (self.cursor + probe) % n;
+            let session = &mut self.sessions[i];
+            if session.round_complete() {
+                session.advance_round();
+            }
+            if let Some(out) = session.poll_transmit() {
+                self.cursor = (i + 1) % n;
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::SimMulticast;
+    use crate::transport::{SimMulticast, Transport};
 
     #[test]
     fn control_info_describes_the_session() {
         let data = vec![7u8; 10_000];
-        let server = Server::with_defaults(&data, 4, 99).unwrap();
+        let server = ServerSession::with_defaults(&data, 4, 99).unwrap();
         let info = server.control_info();
         assert_eq!(info.file_len, 10_000);
         assert_eq!(info.packet_size, 500);
         assert_eq!(info.k, 20);
         assert_eq!(info.n, 40);
         assert_eq!(info.layers, 4);
+        assert_eq!(info.base_group, 0);
         assert_eq!(info.profile, "tornado-a");
-        // Control info round-trips through JSON, as it would over the wire.
-        let json = serde_json::to_string(info).unwrap();
-        let back: ControlInfo = serde_json::from_str(&json).unwrap();
-        assert_eq!(&back, info);
+        assert_eq!(info.groups().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Control info round-trips through the wire framing, as it would over
+        // the control channel.
+        let resp = ControlResponse::Session { info: info.clone() };
+        let back = ControlResponse::from_bytes(&resp.to_bytes()).unwrap();
+        assert_eq!(back, resp);
     }
 
     #[test]
     fn send_round_emits_one_block_worth_of_packets_per_round() {
         let data = vec![1u8; 50_000];
-        let mut server = Server::with_defaults(&data, 4, 1).unwrap();
-        let mut net = SimMulticast::new(0);
-        let rx = net.add_receiver(0.0);
+        let mut server = ServerSession::with_defaults(&data, 4, 1).unwrap();
+        let net = SimMulticast::new(0);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
         for layer in 0..4 {
-            rx.subscribe(layer);
+            rx.join(layer).unwrap();
         }
-        server.send_round(&mut net);
+        server.send_round(&mut tx);
         // One round sends the full cumulative bandwidth (= block size) per block.
         let expected = server.code().n().div_ceil(8) * 8;
         assert!(rx.pending() <= expected);
         assert!(rx.pending() > 0);
         assert_eq!(server.rounds_sent(), 1);
+    }
+
+    #[test]
+    fn poll_transmit_equals_send_round() {
+        // The convenience driver and the raw state machine emit the same
+        // datagrams: sans-I/O means no simulation-only branches.
+        let data = vec![3u8; 20_000];
+        let mut a = ServerSession::with_defaults(&data, 2, 5).unwrap();
+        let mut b = ServerSession::with_defaults(&data, 2, 5).unwrap();
+        let net = SimMulticast::new(0);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
+        rx.join(0).unwrap();
+        rx.join(1).unwrap();
+        a.send_round(&mut tx);
+        let mut from_polls = Vec::new();
+        while let Some((group, datagram)) = b.poll_transmit() {
+            from_polls.push((group, datagram));
+        }
+        b.advance_round();
+        let mut from_send = Vec::new();
+        while let Some(got) = rx.recv() {
+            from_send.push(got);
+        }
+        assert_eq!(from_send, from_polls);
+        assert_eq!(a.packets_sent(), b.packets_sent());
+    }
+
+    #[test]
+    fn sessions_get_disjoint_group_ranges_and_ids() {
+        let mut server = FountainServer::new();
+        let a = server
+            .add_session(
+                &[1u8; 30_000],
+                SessionConfig {
+                    layers: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let b = server
+            .add_session(
+                &[2u8; 10_000],
+                SessionConfig {
+                    layers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!((a, b), (0, 1));
+        let ia = server.session(a).unwrap().control_info();
+        let ib = server.session(b).unwrap().control_info();
+        assert_eq!(ia.groups().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(ib.groups().collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn control_channel_answers_list_describe_and_garbage() {
+        let mut server = FountainServer::new();
+        let id = server
+            .add_session(&[9u8; 5_000], SessionConfig::default())
+            .unwrap();
+        let resp = server.handle_control(&ControlRequest::ListSessions);
+        assert_eq!(
+            resp,
+            ControlResponse::SessionList {
+                session_ids: vec![id]
+            }
+        );
+
+        let wire =
+            server.handle_control_datagram(&ControlRequest::Describe { session_id: id }.to_bytes());
+        match ControlResponse::from_bytes(&wire).unwrap() {
+            ControlResponse::Session { info } => assert_eq!(info.file_len, 5_000),
+            other => panic!("expected Session, got {other:?}"),
+        }
+
+        let wire =
+            server.handle_control_datagram(&ControlRequest::Describe { session_id: 77 }.to_bytes());
+        assert_eq!(
+            ControlResponse::from_bytes(&wire).unwrap(),
+            ControlResponse::UnknownSession { session_id: 77 }
+        );
+
+        let wire = server.handle_control_datagram(b"not a control datagram");
+        assert_eq!(
+            ControlResponse::from_bytes(&wire).unwrap(),
+            ControlResponse::BadRequest
+        );
+    }
+
+    #[test]
+    fn poll_transmit_interleaves_sessions_fairly() {
+        let mut server = FountainServer::new();
+        let a = server
+            .add_session(&[1u8; 40_000], SessionConfig::default())
+            .unwrap();
+        let b = server
+            .add_session(&[2u8; 40_000], SessionConfig::default())
+            .unwrap();
+        let (ga, gb) = (
+            server.session(a).unwrap().control_info().base_group,
+            server.session(b).unwrap().control_info().base_group,
+        );
+        let mut counts = [0usize; 2];
+        for _ in 0..1_000 {
+            let (group, _) = server.poll_transmit().unwrap();
+            if group == ga {
+                counts[0] += 1;
+            } else {
+                assert_eq!(group, gb);
+                counts[1] += 1;
+            }
+        }
+        assert_eq!(counts, [500, 500], "strict alternation between sessions");
+    }
+
+    #[test]
+    fn empty_server_transmits_nothing() {
+        let mut server = FountainServer::new();
+        assert!(server.poll_transmit().is_none());
+        assert_eq!(
+            server.handle_control(&ControlRequest::ListSessions),
+            ControlResponse::SessionList {
+                session_ids: vec![]
+            }
+        );
     }
 }

@@ -1,11 +1,21 @@
 //! Pluggable multicast transports for the prototype.
 //!
 //! The paper's prototype runs over IP multicast between Berkeley, CMU and
-//! Cornell; we do not have that testbed, so the default transport is
-//! [`SimMulticast`], an in-memory best-effort multicast channel with
-//! per-receiver loss (the substitution is documented in DESIGN.md).  The
-//! server and client only speak through the [`Transport`] trait, so the same
-//! code drives real UDP sockets in the `udp_fountain` example.
+//! Cornell; this crate's sessions are *sans-I/O* state machines that speak
+//! only through the bidirectional [`Transport`] trait, so the same session
+//! code runs over two interchangeable channels:
+//!
+//! * [`SimMulticast`] — a deterministic in-memory lossy multicast used by the
+//!   tests, the benchmarks and the Figure 8 reproduction.  Each participant
+//!   holds a [`SimEndpoint`].
+//! * [`crate::UdpMulticastTransport`] — real `std::net::UdpSocket`s (IP
+//!   multicast or loopback unicast), exercised by the `udp_fountain` example
+//!   and the UDP integration tests.
+//!
+//! A transport is a *best-effort* datagram channel with group addressing —
+//! the same service model as IP multicast.  Sends may silently vanish (that
+//! is the loss the fountain code exists to absorb) and `recv` never blocks:
+//! the I/O driver owns the socket/channel and decides when to poll.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -14,16 +24,35 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// A best-effort multicast sender: datagrams are addressed to a group and
-/// delivered (or not) to every subscribed receiver.
+/// A bidirectional best-effort multicast endpoint: datagrams are addressed to
+/// a group and delivered (or not) to every endpoint joined to it.
 pub trait Transport {
-    /// Send one datagram to `group`.
+    /// Send one datagram to `group`.  Best-effort: errors are indistinguishable
+    /// from channel loss, exactly as with a UDP socket sending to a multicast
+    /// group with no subscribers.
     fn send(&mut self, group: u32, datagram: Bytes);
+
+    /// Pop the next delivered datagram, if any, together with the group it
+    /// arrived on.  Non-blocking; drivers that want to block or sleep do so
+    /// around this call.
+    fn recv(&mut self) -> Option<(u32, Bytes)>;
+
+    /// Join a multicast group (a cumulative layered receiver calls this once
+    /// per layer it subscribes to).
+    ///
+    /// # Errors
+    ///
+    /// Transports backed by real sockets can fail to join (e.g. the group's
+    /// port is taken); the in-memory transport never fails.
+    fn join(&mut self, group: u32) -> std::io::Result<()>;
+
+    /// Leave a multicast group.
+    fn leave(&mut self, group: u32);
 }
 
-/// One receiver's endpoint on a [`SimMulticast`] channel.
+/// One participant's endpoint on a [`SimMulticast`] channel.
 #[derive(Debug)]
-pub struct SimReceiverHandle {
+pub struct SimEndpoint {
     inner: Arc<Mutex<SimInner>>,
     receiver: usize,
 }
@@ -49,8 +78,10 @@ struct SimInner {
 /// A deterministic in-memory lossy multicast channel.
 ///
 /// Every datagram sent to a group is independently delivered to each
-/// subscribed receiver with probability `1 − loss(receiver)` — the same
-/// best-effort semantics as IP multicast over a lossy path.
+/// subscribed endpoint with probability `1 − loss(endpoint)` — the same
+/// best-effort semantics as IP multicast over a lossy path.  Like IP
+/// multicast with `IP_MULTICAST_LOOP` enabled, a sender that has joined the
+/// group it sends to receives its own datagrams.
 #[derive(Debug, Clone)]
 pub struct SimMulticast {
     inner: Arc<Mutex<SimInner>>,
@@ -69,12 +100,12 @@ impl SimMulticast {
         }
     }
 
-    /// Attach a receiver with the given independent loss probability.
+    /// Attach an endpoint with the given independent loss probability.
     ///
     /// # Panics
     ///
     /// Panics if `loss` is not in `[0, 1)`.
-    pub fn add_receiver(&self, loss: f64) -> SimReceiverHandle {
+    pub fn endpoint(&self, loss: f64) -> SimEndpoint {
         assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
         let mut inner = self.inner.lock();
         inner.receivers.push(ReceiverState {
@@ -82,7 +113,7 @@ impl SimMulticast {
             groups: Vec::new(),
             queue: VecDeque::new(),
         });
-        SimReceiverHandle {
+        SimEndpoint {
             inner: self.inner.clone(),
             receiver: inner.receivers.len() - 1,
         }
@@ -93,13 +124,20 @@ impl SimMulticast {
         self.inner.lock().sent
     }
 
-    /// Total datagram deliveries across all receivers.
+    /// Total datagram deliveries across all endpoints.
     pub fn delivered(&self) -> u64 {
         self.inner.lock().delivered
     }
 }
 
-impl Transport for SimMulticast {
+impl SimEndpoint {
+    /// Number of datagrams waiting in this endpoint's queue.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().receivers[self.receiver].queue.len()
+    }
+}
+
+impl Transport for SimEndpoint {
     fn send(&mut self, group: u32, datagram: Bytes) {
         let mut inner = self.inner.lock();
         inner.sent += 1;
@@ -120,35 +158,25 @@ impl Transport for SimMulticast {
             inner.delivered += 1;
         }
     }
-}
 
-impl SimReceiverHandle {
-    /// Subscribe to a multicast group (a cumulative layered receiver calls
-    /// this once per layer it joins).
-    pub fn subscribe(&self, group: u32) {
+    fn recv(&mut self) -> Option<(u32, Bytes)> {
+        self.inner.lock().receivers[self.receiver].queue.pop_front()
+    }
+
+    fn join(&mut self, group: u32) -> std::io::Result<()> {
         let mut inner = self.inner.lock();
         let groups = &mut inner.receivers[self.receiver].groups;
         if !groups.contains(&group) {
             groups.push(group);
         }
+        Ok(())
     }
 
-    /// Leave a multicast group.
-    pub fn unsubscribe(&self, group: u32) {
+    fn leave(&mut self, group: u32) {
         let mut inner = self.inner.lock();
         inner.receivers[self.receiver]
             .groups
             .retain(|&g| g != group);
-    }
-
-    /// Pop the next delivered datagram, if any.
-    pub fn recv(&self) -> Option<(u32, Bytes)> {
-        self.inner.lock().receivers[self.receiver].queue.pop_front()
-    }
-
-    /// Number of datagrams waiting.
-    pub fn pending(&self) -> usize {
-        self.inner.lock().receivers[self.receiver].queue.len()
     }
 }
 
@@ -158,13 +186,14 @@ mod tests {
 
     #[test]
     fn delivery_respects_subscription() {
-        let mut net = SimMulticast::new(1);
-        let rx = net.add_receiver(0.0);
-        net.send(0, Bytes::from_static(b"before subscribe"));
+        let net = SimMulticast::new(1);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
+        tx.send(0, Bytes::from_static(b"before subscribe"));
         assert_eq!(rx.pending(), 0);
-        rx.subscribe(0);
-        net.send(0, Bytes::from_static(b"hello"));
-        net.send(1, Bytes::from_static(b"other group"));
+        rx.join(0).unwrap();
+        tx.send(0, Bytes::from_static(b"hello"));
+        tx.send(1, Bytes::from_static(b"other group"));
         assert_eq!(rx.pending(), 1);
         let (group, data) = rx.recv().unwrap();
         assert_eq!(group, 0);
@@ -173,23 +202,37 @@ mod tests {
     }
 
     #[test]
-    fn unsubscribe_stops_delivery() {
-        let mut net = SimMulticast::new(2);
-        let rx = net.add_receiver(0.0);
-        rx.subscribe(3);
-        net.send(3, Bytes::from_static(b"a"));
-        rx.unsubscribe(3);
-        net.send(3, Bytes::from_static(b"b"));
+    fn leave_stops_delivery() {
+        let net = SimMulticast::new(2);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
+        rx.join(3).unwrap();
+        tx.send(3, Bytes::from_static(b"a"));
+        rx.leave(3);
+        tx.send(3, Bytes::from_static(b"b"));
         assert_eq!(rx.pending(), 1);
     }
 
     #[test]
+    fn sender_joined_to_its_own_group_loops_back() {
+        let net = SimMulticast::new(9);
+        let mut ep = net.endpoint(0.0);
+        ep.join(0).unwrap();
+        ep.send(0, Bytes::from_static(b"loop"));
+        assert_eq!(
+            ep.recv().map(|(g, d)| (g, d.to_vec())),
+            Some((0, b"loop".to_vec()))
+        );
+    }
+
+    #[test]
     fn loss_rate_is_respected_statistically() {
-        let mut net = SimMulticast::new(3);
-        let rx = net.add_receiver(0.3);
-        rx.subscribe(0);
+        let net = SimMulticast::new(3);
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.3);
+        rx.join(0).unwrap();
         for _ in 0..10_000 {
-            net.send(0, Bytes::from_static(b"x"));
+            tx.send(0, Bytes::from_static(b"x"));
         }
         let delivered = rx.pending() as f64;
         let rate = 1.0 - delivered / 10_000.0;
@@ -199,13 +242,14 @@ mod tests {
 
     #[test]
     fn independent_loss_across_receivers() {
-        let mut net = SimMulticast::new(4);
-        let a = net.add_receiver(0.0);
-        let b = net.add_receiver(0.5);
-        a.subscribe(0);
-        b.subscribe(0);
+        let net = SimMulticast::new(4);
+        let mut tx = net.endpoint(0.0);
+        let mut a = net.endpoint(0.0);
+        let mut b = net.endpoint(0.5);
+        a.join(0).unwrap();
+        b.join(0).unwrap();
         for _ in 0..2_000 {
-            net.send(0, Bytes::from_static(b"y"));
+            tx.send(0, Bytes::from_static(b"y"));
         }
         assert_eq!(a.pending(), 2_000);
         assert!(b.pending() < 1_400 && b.pending() > 600);

@@ -64,9 +64,18 @@ impl DataPacket {
 
     /// Serialise header + payload into one datagram.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
-        buf.put_slice(&self.header.encode());
-        buf.put_slice(&self.payload);
+        Self::frame(&self.header, &self.payload)
+    }
+
+    /// Frame a datagram straight from a borrowed payload, without building a
+    /// `DataPacket` first — the zero-copy path for senders that retain their
+    /// encoding (the carousel re-sends every packet forever).  This is the
+    /// single definition of the data-packet wire layout; [`DataPacket::to_bytes`]
+    /// delegates here.
+    pub fn frame(header: &PacketHeader, payload: &[u8]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
+        buf.put_slice(&header.encode());
+        buf.put_slice(payload);
         buf.freeze()
     }
 

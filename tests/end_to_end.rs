@@ -4,7 +4,10 @@
 //! receivers adapting to their bottleneck).
 
 use digital_fountain::core::{reassemble_file, PacketizedFile, TornadoCode, TORNADO_B};
-use digital_fountain::proto::{Client, Server, SimMulticast};
+use digital_fountain::proto::{
+    ClientEvent, ClientSession, FountainServer, ServerSession, SessionConfig, SimMulticast,
+    Transport,
+};
 use digital_fountain::sim::{
     simulate_interleaved_receiver, simulate_tornado_receiver, BernoulliLoss, InterleavedCode,
 };
@@ -21,22 +24,23 @@ fn prototype_distributes_a_file_to_heterogeneous_clients() {
     // One server, three clients behind different loss rates, all reconstruct
     // the same file from the same carousel with no retransmissions.
     let data = random_file(200_000, 1);
-    let mut server = Server::with_defaults(&data, 4, 42).unwrap();
-    let mut net = SimMulticast::new(7);
+    let mut server = ServerSession::with_defaults(&data, 4, 42).unwrap();
+    let net = SimMulticast::new(7);
+    let mut tx = net.endpoint(0.0);
     let losses = [0.0, 0.15, 0.4];
-    let handles: Vec<_> = losses.iter().map(|&l| net.add_receiver(l)).collect();
-    for h in &handles {
-        for layer in 0..4 {
-            h.subscribe(layer);
+    let mut endpoints: Vec<_> = losses.iter().map(|&l| net.endpoint(l)).collect();
+    let mut clients: Vec<ClientSession> = (0..losses.len())
+        .map(|_| ClientSession::new(server.control_info().clone()).unwrap())
+        .collect();
+    for (ep, c) in endpoints.iter_mut().zip(&clients) {
+        for group in c.groups() {
+            ep.join(group).unwrap();
         }
     }
-    let mut clients: Vec<Client> = (0..losses.len())
-        .map(|_| Client::new(server.control_info().clone()).unwrap())
-        .collect();
     for _ in 0..20_000 {
-        server.send_round(&mut net);
-        for (h, c) in handles.iter().zip(clients.iter_mut()) {
-            while let Some((_g, dgram)) = h.recv() {
+        server.send_round(&mut tx);
+        for (ep, c) in endpoints.iter_mut().zip(clients.iter_mut()) {
+            while let Some((_g, dgram)) = ep.recv() {
                 c.handle_datagram(dgram);
             }
         }
@@ -54,6 +58,94 @@ fn prototype_distributes_a_file_to_heterogeneous_clients() {
         // Every client keeps a sensible efficiency even at 40 % loss.
         assert!(c.stats().reception_efficiency() > 0.3);
     }
+}
+
+#[test]
+fn fountain_server_carousels_two_files_concurrently_over_disjoint_groups() {
+    // The multi-session server of Section 7.1: two files, two disjoint group
+    // sets, two clients downloading concurrently from one interleaved
+    // carousel — each client subscribed only to its own session's groups.
+    let file_a = random_file(150_000, 10);
+    let file_b = random_file(60_000, 11);
+    let mut server = FountainServer::new();
+    let id_a = server
+        .add_session(
+            &file_a,
+            SessionConfig {
+                layers: 4,
+                code_seed: 42,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+    let id_b = server
+        .add_session(
+            &file_b,
+            SessionConfig {
+                layers: 2,
+                code_seed: 43,
+                profile: digital_fountain::core::TORNADO_B,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Clients discover their sessions over the wire-level control channel.
+    let mut clients = Vec::new();
+    for id in [id_a, id_b] {
+        let resp = server.handle_control_datagram(
+            &digital_fountain::proto::ControlRequest::Describe { session_id: id }.to_bytes(),
+        );
+        let info = match digital_fountain::proto::ControlResponse::from_bytes(&resp).unwrap() {
+            digital_fountain::proto::ControlResponse::Session { info } => info,
+            other => panic!("expected Session response, got {other:?}"),
+        };
+        clients.push(ClientSession::new(info).unwrap());
+    }
+    let groups_a: Vec<u32> = clients[0].groups().collect();
+    let groups_b: Vec<u32> = clients[1].groups().collect();
+    assert!(
+        groups_a.iter().all(|g| !groups_b.contains(g)),
+        "sessions must use disjoint group sets: {groups_a:?} vs {groups_b:?}"
+    );
+
+    let net = SimMulticast::new(3);
+    let mut tx = net.endpoint(0.0);
+    let mut endpoints: Vec<_> = [0.1, 0.25].iter().map(|&loss| net.endpoint(loss)).collect();
+    for (ep, c) in endpoints.iter_mut().zip(&clients) {
+        for group in c.groups() {
+            ep.join(group).unwrap();
+        }
+    }
+
+    // Progress of the *other* client at the moment the first one completes:
+    // nonzero proves the carousels are interleaved (a server that finished
+    // file A's whole carousel before starting file B would leave this at 0).
+    let mut other_progress_at_first_completion = None;
+    let mut sent = 0u64;
+    while clients.iter().any(|c| !c.is_complete()) {
+        assert!(sent < 5_000_000, "downloads did not converge");
+        let (group, datagram) = server.poll_transmit().expect("two live sessions");
+        tx.send(group, datagram);
+        sent += 1;
+        for i in 0..clients.len() {
+            while let Some((_g, dgram)) = endpoints[i].recv() {
+                if clients[i].handle_datagram(dgram) == ClientEvent::Complete
+                    && other_progress_at_first_completion.is_none()
+                {
+                    other_progress_at_first_completion = Some(clients[1 - i].stats().received());
+                }
+            }
+        }
+    }
+    assert_eq!(clients[0].file().unwrap(), &file_a[..]);
+    assert_eq!(clients[1].file().unwrap(), &file_b[..]);
+    assert!(
+        other_progress_at_first_completion.unwrap() > 0,
+        "the second download must already have received packets when the \
+         first completed — the sessions are carouselled concurrently, not \
+         sequentially"
+    );
 }
 
 #[test]
