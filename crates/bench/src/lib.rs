@@ -234,6 +234,13 @@ pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
     ]
 }
 
+/// The layered congestion-control operating point of the benchmark report:
+/// a heterogeneous 1×/3×/7× bottleneck population on a 6-layer carousel
+/// with an SP every 2 rounds — the `repro layered` experiment in miniature.
+pub fn measure_layered_efficiency() -> Vec<df_sim::LayeredOutcome> {
+    df_sim::layered_population_experiment(500_000, 6, 2, 1, &[1.0, 3.0, 7.0], 42, 400)
+}
+
 /// Render the machine-readable benchmark report (`BENCH_pr<N>.json`) that
 /// tracks the repo's performance trajectory across PRs.
 ///
@@ -265,7 +272,25 @@ pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    // Receiver-driven congestion control: convergence level, completion
+    // rounds and reception efficiency per bottleneck (Section 7.1 / the
+    // Figure 7 scenario over the real protocol stack).
+    let layered = measure_layered_efficiency();
+    out.push_str("  \"layered_efficiency\": [\n");
+    for (i, r) in layered.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bottleneck\": {:.1}, \"complete\": {}, \"final_level\": {}, \"rounds\": {}, \"reception_efficiency\": {:.4}, \"distinctness_efficiency\": {:.4}}}{}\n",
+            r.bottleneck,
+            r.complete,
+            r.final_level,
+            r.rounds,
+            r.reception_efficiency(),
+            r.distinctness_efficiency(),
+            if i + 1 < layered.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

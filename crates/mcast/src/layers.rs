@@ -16,9 +16,20 @@
 //! Section 7.3 — the quantities plotted in Figure 8 of the paper.
 
 use crate::schedule::TransmissionSchedule;
-use df_core::{AddOutcome, Mark, TornadoCode};
+use df_core::{AddOutcome, Mark, TornadoCode, TornadoError};
 use rand::Rng;
 use serde::Serialize;
+
+/// Most layers a layered session may use — the reverse-binary schedule's
+/// block size is `2^(layers−1)`, so 16 layers is already a 32 768-packet
+/// block ([`TransmissionSchedule`] enforces the same cap).
+pub const MAX_LAYERS: usize = 16;
+
+/// Longest admissible SP interval.  Receiver-side loss accounting holds
+/// O(`sp_interval`) round counters, so the bound keeps what a session (or a
+/// hostile announcement replaying one) can make a receiver track finite;
+/// protocol clients enforce the same limit on wire-sourced cadences.
+pub const MAX_SP_INTERVAL: usize = 1 << 16;
 
 /// A layered transmission session for one Tornado-encoded file.
 #[derive(Debug, Clone)]
@@ -35,26 +46,63 @@ impl LayeredSession {
     /// groups, with an SP every `sp_interval` rounds preceded by
     /// `burst_rounds` rounds of double-rate bursting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on degenerate parameters (no layers, empty encoding, zero SP
-    /// interval, or bursts longer than the SP interval).
-    pub fn new(layers: usize, n: usize, sp_interval: usize, burst_rounds: usize) -> Self {
-        assert!(sp_interval > 0, "SP interval must be positive");
-        assert!(
-            burst_rounds < sp_interval,
-            "burst must be shorter than the SP interval"
-        );
-        LayeredSession {
+    /// Returns [`TornadoError::InvalidParameters`] for degenerate parameters:
+    /// no layers (or more than the [`MAX_LAYERS`] = 16 the schedule
+    /// supports), an empty encoding, an SP interval shorter than 2 rounds
+    /// (`sp_interval == 0` would divide by zero in the round phase
+    /// arithmetic, and `sp_interval == 1` would make *every* round a sync
+    /// point, leaving no inter-SP rounds to measure loss over) or longer
+    /// than [`MAX_SP_INTERVAL`], or bursts at least as long as the SP
+    /// interval (which would misclassify every loss as burst loss and
+    /// freeze the join/leave logic).
+    pub fn new(
+        layers: usize,
+        n: usize,
+        sp_interval: usize,
+        burst_rounds: usize,
+    ) -> df_core::Result<Self> {
+        let invalid = |reason: String| TornadoError::InvalidParameters { reason };
+        if layers == 0 || layers > MAX_LAYERS {
+            return Err(invalid(format!(
+                "need between 1 and {MAX_LAYERS} layers, got {layers}"
+            )));
+        }
+        if n == 0 {
+            return Err(invalid("layered session needs a non-empty encoding".into()));
+        }
+        if !(2..=MAX_SP_INTERVAL).contains(&sp_interval) {
+            return Err(invalid(format!(
+                "SP interval must be between 2 and {MAX_SP_INTERVAL} rounds, got {sp_interval}"
+            )));
+        }
+        if burst_rounds >= sp_interval {
+            return Err(invalid(format!(
+                "burst ({burst_rounds} rounds) must be shorter than the SP \
+                 interval ({sp_interval} rounds)"
+            )));
+        }
+        Ok(LayeredSession {
             schedule: TransmissionSchedule::new(layers, n),
             sp_interval,
             burst_rounds,
-        }
+        })
     }
 
     /// The packet schedule in use.
     pub fn schedule(&self) -> &TransmissionSchedule {
         &self.schedule
+    }
+
+    /// Rounds between synchronisation points.
+    pub fn sp_interval(&self) -> usize {
+        self.sp_interval
+    }
+
+    /// Rounds of double-rate burst preceding each SP.
+    pub fn burst_rounds(&self) -> usize {
+        self.burst_rounds
     }
 
     /// True if `round` is a synchronisation point (a join opportunity).
@@ -76,6 +124,13 @@ impl LayeredSession {
     /// Packets beyond the bottleneck within a round are dropped (tail drop),
     /// which is both how the receiver experiences congestion and the signal
     /// its join/leave decisions react to.
+    ///
+    /// The base layer sends one packet per block per round, so a bottleneck
+    /// of `b` base-rate units is a per-round delivery budget of `b · blocks`
+    /// packets — normalised per block, which is what makes the bottleneck
+    /// comparison file-size independent: a receiver behind a 3× bottleneck
+    /// converges to the same subscription level whether the file spans 10
+    /// blocks or 10 000.
     pub fn simulate_receiver<R: Rng + ?Sized>(
         &self,
         code: &TornadoCode,
@@ -85,6 +140,9 @@ impl LayeredSession {
     ) -> ReceiverReport {
         let g = self.schedule.layers();
         let blocks = self.schedule.num_blocks() as f64;
+        // Per-round delivery budget at the receiver's access link, in
+        // packets; everything past it within one round is tail-dropped.
+        let budget = (bottleneck * blocks).floor().max(0.0) as usize;
         let mut level = 0usize; // current cumulative subscription level
         let mut decoder = code.symbolic_decoder();
         let mut seen = vec![false; code.n()];
@@ -108,11 +166,6 @@ impl LayeredSession {
                 burst_loss = false;
             }
             let burst = self.is_burst(round);
-            let rate_multiplier = if burst { 2.0 } else { 1.0 };
-            // Offered load at this subscription level, in base-rate units,
-            // normalised per block so the bottleneck is file-size independent.
-            let offered = self.schedule.cumulative_bandwidth(level) as f64 * rate_multiplier;
-            let deliver_fraction = (bottleneck / offered).min(1.0);
             let mut round_packets: Vec<usize> = Vec::new();
             for layer in 0..=level {
                 round_packets.extend(self.schedule.transmission(layer, round));
@@ -122,9 +175,12 @@ impl LayeredSession {
                     round_packets.extend(self.schedule.transmission(layer, round));
                 }
             }
-            for idx in round_packets {
-                // Tail-drop at the bottleneck plus independent background loss.
-                let dropped = rng.gen::<f64>() >= deliver_fraction || rng.gen::<f64>() < extra_loss;
+            for (pos, idx) in round_packets.into_iter().enumerate() {
+                // Deterministic tail-drop at the bottleneck: the packets of a
+                // round arrive lowest layer first, and whatever exceeds the
+                // budget never makes it through the access link.  Independent
+                // background loss comes on top.
+                let dropped = pos >= budget || (extra_loss > 0.0 && rng.gen::<f64>() < extra_loss);
                 if dropped {
                     if burst {
                         burst_loss = true;
@@ -145,7 +201,6 @@ impl LayeredSession {
             }
             round += 1;
         }
-        let _ = blocks;
         ReceiverReport {
             complete,
             received,
@@ -277,13 +332,40 @@ mod tests {
 
     #[test]
     fn sync_points_and_bursts_alternate_sensibly() {
-        let s = LayeredSession::new(4, 2000, 16, 2);
+        let s = LayeredSession::new(4, 2000, 16, 2).unwrap();
         assert!(!s.is_sync_point(0));
         assert!(s.is_sync_point(16));
         assert!(!s.is_sync_point(17));
         assert!(s.is_burst(14));
         assert!(s.is_burst(15));
         assert!(!s.is_burst(3));
+        assert_eq!((s.sp_interval(), s.burst_rounds()), (16, 2));
+    }
+
+    #[test]
+    fn degenerate_session_parameters_are_constructor_errors() {
+        use df_core::TornadoError;
+        // (layers, n, sp_interval, burst_rounds) combinations that used to
+        // panic (or construct, then panic or never-burst downstream).
+        for (layers, n, sp, burst) in [
+            (0usize, 100usize, 8usize, 1usize), // no layers
+            (17, 100, 8, 1),                    // beyond the schedule's maximum
+            (4, 0, 8, 1),                       // empty encoding
+            (4, 100, 0, 0),                     // SP interval of zero: division by zero downstream
+            (4, 100, 1, 0),                     // every round an SP: no inter-SP loss window
+            (4, 100, MAX_SP_INTERVAL + 1, 0),   // unbounded receiver accounting
+            (4, 100, 8, 8),                     // burst as long as the SP interval
+            (4, 100, 8, 9),                     // burst longer than the SP interval
+        ] {
+            match LayeredSession::new(layers, n, sp, burst) {
+                Err(TornadoError::InvalidParameters { .. }) => {}
+                other => panic!("({layers}, {n}, {sp}, {burst}) must be rejected, got {other:?}"),
+            }
+        }
+        assert!(
+            LayeredSession::new(4, 100, 2, 1).is_ok(),
+            "minimal valid SP spacing"
+        );
     }
 
     #[test]
@@ -329,17 +411,43 @@ mod tests {
 
     #[test]
     fn layered_receiver_converges_to_its_bottleneck_level() {
+        // Six layers and a tight SP cadence so the receiver has several join
+        // opportunities before the download completes (at g = 6 a base-layer
+        // download spans ~17 rounds; SPs every 2 rounds).
         let code = code();
-        let session = LayeredSession::new(4, code.n(), 8, 1);
+        let session = LayeredSession::new(6, code.n(), 2, 1).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         // Bottleneck of 4 base-rate units supports cumulative level 2
-        // (bandwidth 1+1+2 = 4) but not level 3 (bandwidth 8).
+        // (bandwidth 1+1+2 = 4) but not level 3 (bandwidth 8); with the
+        // deterministic tail-drop model the burst probe (2×4 = 8 > 4) blocks
+        // the next join exactly, so convergence is to level 2 exactly.
         let r = session.simulate_receiver(&code, 4.0, 0.0, &mut rng);
         assert!(r.complete);
-        assert!(
-            r.final_level <= 2,
-            "level {} exceeds the bottleneck",
-            r.final_level
+        assert_eq!(
+            r.final_level, 2,
+            "a 4× bottleneck must converge to cumulative level 2"
+        );
+    }
+
+    #[test]
+    fn bottleneck_comparison_is_file_size_independent() {
+        // The per-block normalisation fix: the same bottleneck ratio must
+        // converge to the same subscription level regardless of how many
+        // blocks the encoding spans.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut levels = Vec::new();
+        for k in [250usize, 1000, 4000] {
+            let code = TornadoCode::new_a(k, 7).unwrap();
+            let session = LayeredSession::new(6, code.n(), 2, 1).unwrap();
+            let r = session.simulate_receiver(&code, 3.0, 0.0, &mut rng);
+            assert!(r.complete, "k = {k} did not complete");
+            levels.push(r.final_level);
+        }
+        assert_eq!(
+            levels,
+            vec![1, 1, 1],
+            "a 3× bottleneck sustains level 1 (rate 2) but fails the level-2 \
+             burst probe (rate 4) at every file size"
         );
     }
 
@@ -348,7 +456,7 @@ mod tests {
         // Frequent SPs so the wide receiver has several join opportunities
         // before the (short) download finishes.
         let code = code();
-        let session = LayeredSession::new(4, code.n(), 4, 1);
+        let session = LayeredSession::new(6, code.n(), 2, 1).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let fast = session.simulate_receiver(&code, 32.0, 0.0, &mut rng);
         let slow = session.simulate_receiver(&code, 1.0, 0.0, &mut rng);
@@ -371,12 +479,27 @@ mod tests {
     }
 
     #[test]
+    fn burst_loss_is_a_clean_probe_not_a_drop_signal() {
+        // A receiver whose bottleneck exactly fits its level loses packets
+        // *only* during bursts (the deterministic tail-drop of the doubled
+        // rate), and that loss must block joins without ever forcing a drop:
+        // the receiver stays pinned at its level from the first SP on.
+        let code = code();
+        let session = LayeredSession::new(6, code.n(), 2, 1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        // 2 base-rate units: level 1 fits exactly (1+1), burst (4) does not.
+        let r = session.simulate_receiver(&code, 2.0, 0.0, &mut rng);
+        assert!(r.complete);
+        assert_eq!(r.final_level, 1, "must hold level 1, not oscillate");
+    }
+
+    #[test]
     fn layer_switching_costs_distinctness_efficiency() {
         // A receiver whose bottleneck sits between levels keeps oscillating,
         // which is exactly the effect the paper reports: duplicates appear at
         // moderate loss because of subscription changes.
         let code = code();
-        let session = LayeredSession::new(4, code.n(), 8, 1);
+        let session = LayeredSession::new(6, code.n(), 2, 1).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let r = session.simulate_receiver(&code, 3.0, 0.10, &mut rng);
         assert!(r.complete);

@@ -18,5 +18,8 @@
 pub mod layers;
 pub mod schedule;
 
-pub use layers::{simulate_single_layer_receiver, LayeredReceiver, LayeredSession, ReceiverReport};
+pub use layers::{
+    simulate_single_layer_receiver, LayeredReceiver, LayeredSession, ReceiverReport, MAX_LAYERS,
+    MAX_SP_INTERVAL,
+};
 pub use schedule::TransmissionSchedule;

@@ -131,6 +131,17 @@ impl TransmissionSchedule {
         out
     }
 
+    /// Number of global indices [`TransmissionSchedule::transmission`] yields
+    /// for `layer` in `round`, without materialising them — the per-round
+    /// packet count a pacing driver (or a receiver estimating its loss rate)
+    /// needs.  Varies slightly across rounds when the final block is partial.
+    pub fn transmission_len(&self, layer: usize, round: usize) -> usize {
+        let offsets = self.offsets_for(layer, round);
+        let last_start = (self.num_blocks() - 1) * self.block_size();
+        offsets.len() * (self.num_blocks() - 1)
+            + offsets.iter().filter(|&&o| last_start + o < self.n).count()
+    }
+
     /// Global indices received in `round` by a receiver subscribed to
     /// cumulative level `level` (layers `0..=level`).
     pub fn received_at_level(&self, level: usize, round: usize) -> Vec<usize> {
@@ -309,6 +320,43 @@ mod tests {
                         prop_assert!(seen.insert(o));
                     }
                 }
+            }
+        }
+
+        /// The top cumulative level (`g − 1`, i.e. all layers together) covers
+        /// the whole block within a single round-period — each round sends
+        /// exactly one block's worth, and over `block_size` rounds every
+        /// offset appears `block_size` times in total.
+        #[test]
+        fn prop_full_subscription_covers_the_block_each_round(g in 2usize..7, start in 0usize..64) {
+            let s = TransmissionSchedule::new(g, 1 << (g - 1));
+            for round in start..start + s.block_size() {
+                let mut seen = HashSet::new();
+                for layer in 0..g {
+                    for o in s.offsets_for(layer, round) {
+                        prop_assert!(seen.insert(o), "duplicate offset {o} in round {round}");
+                    }
+                }
+                prop_assert_eq!(seen.len(), s.block_size(), "round {} must cover the block", round);
+            }
+        }
+
+        /// `transmission_len` agrees with the materialised transmission for
+        /// every layer and round, including partial final blocks.
+        #[test]
+        fn prop_transmission_len_matches_transmission(
+            g in 1usize..7,
+            round in 0usize..64,
+            extra in 0usize..40,
+        ) {
+            let n = (1 << (g - 1)) + extra; // at least one (possibly partial) block
+            let s = TransmissionSchedule::new(g, n);
+            for layer in 0..g {
+                prop_assert_eq!(
+                    s.transmission_len(layer, round),
+                    s.transmission(layer, round).len(),
+                    "g={} layer={} round={} n={}", g, layer, round, n
+                );
             }
         }
     }

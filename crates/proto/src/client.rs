@@ -17,12 +17,14 @@
 //! a fresh decoder per attempt (which made the old API O(attempts · n)).
 
 use crate::control::ControlInfo;
+use crate::layered::LayerController;
 use crate::wire::DataPacket;
 use bytes::Bytes;
 use df_core::{
     reassemble_file, OwnedPayloadDecoder, ReceptionCounter, TornadoCode, TornadoError,
     TornadoProfile,
 };
+use df_mcast::LayeredSession;
 
 /// Reception statistics for one download, backed by
 /// [`df_core::ReceptionCounter`] — the same accounting the reception
@@ -103,6 +105,23 @@ pub enum ClientEvent {
     /// A new packet triggered a decode attempt that did not yet complete;
     /// the strategy will wait for ~2 % of `k` more packets before retrying.
     AttemptFailed,
+    /// The layered congestion-control logic decided to add the next layer
+    /// at a synchronisation point: the I/O driver should now call
+    /// [`crate::Transport::join`] for `group`.  The session has already
+    /// updated its subscription state — the event is the driver's cue, not
+    /// a request for permission (sans-I/O: the session decides, the driver
+    /// owns the socket).
+    Join {
+        /// Multicast group of the newly subscribed layer.
+        group: u32,
+    },
+    /// The layered congestion-control logic shed the top layer after
+    /// sustained loss: the I/O driver should now call
+    /// [`crate::Transport::leave`] for `group`.
+    Leave {
+        /// Multicast group of the dropped layer.
+        group: u32,
+    },
     /// The file is fully reconstructed (also returned for every datagram fed
     /// after completion).
     Complete,
@@ -121,6 +140,17 @@ pub const MAX_LAYERS: usize = 32;
 /// wire-sourced sizes).
 pub const MAX_K: usize = 1 << 24;
 
+/// Most layers a *layered* (adaptive congestion-control) session may use —
+/// [`df_mcast::LayeredSession::new`] enforces it for servers and clients
+/// alike.  Flat sessions may go up to [`MAX_LAYERS`].
+pub const MAX_SCHEDULED_LAYERS: usize = df_mcast::MAX_LAYERS;
+
+/// Longest SP interval a layered session may announce, also enforced by
+/// [`df_mcast::LayeredSession::new`] on both sides.  Bounds the per-round
+/// accounting a hostile control channel can make a client keep (the loss
+/// tracker holds O(`sp_interval`) round counters).
+pub const MAX_SP_INTERVAL: usize = df_mcast::MAX_SP_INTERVAL;
+
 /// A downloading client session for one announced session.
 #[derive(Debug)]
 pub struct ClientSession {
@@ -134,6 +164,9 @@ pub struct ClientSession {
     /// Overhead margin the statistical strategy waits for before its next
     /// decode attempt.
     attempt_margin: f64,
+    /// The receiver-driven join/leave state machine of the layered
+    /// congestion-control mode; `None` for flat sessions.
+    controller: Option<LayerController>,
     file: Option<Vec<u8>>,
 }
 
@@ -187,6 +220,23 @@ impl ClientSession {
                 control.k
             )));
         }
+        // Layered congestion-control mode: the announced cadence must pass
+        // the *same* validating constructor the server transmits from, so a
+        // well-formed server can never announce a session its own clients
+        // reject.  This is cheap and runs before the O(k) code build.
+        let layered = if control.sp_interval > 0 {
+            Some(
+                LayeredSession::new(
+                    control.layers,
+                    control.n,
+                    control.sp_interval,
+                    control.burst_rounds,
+                )
+                .map_err(|e| malformed(format!("layered cadence rejected: {e}")))?,
+            )
+        } else {
+            None
+        };
         if control.file_len.div_ceil(control.packet_size) != control.k {
             return Err(malformed(format!(
                 "file length {} at packet size {} yields {} packets, not k = {}",
@@ -207,6 +257,7 @@ impl ClientSession {
             )));
         }
         let decoder = code.owned_decoder();
+        let controller = layered.map(|session| LayerController::new(session, control.base_group));
         Ok(ClientSession {
             stats: DownloadStats::new(code.n(), code.k()),
             control,
@@ -214,6 +265,7 @@ impl ClientSession {
             decoder,
             staged: Vec::new(),
             attempt_margin: 0.06,
+            controller,
             file: None,
         })
     }
@@ -223,10 +275,35 @@ impl ClientSession {
         &self.control
     }
 
-    /// The multicast groups the session transmits on; the I/O driver joins
-    /// these (or a prefix of them, for a layered receiver) on its transport.
+    /// The multicast groups the session transmits on (all of them,
+    /// regardless of subscription); see [`ClientSession::subscribed_groups`]
+    /// for what the driver should actually join.
     pub fn groups(&self) -> impl Iterator<Item = u32> + '_ {
         self.control.groups()
+    }
+
+    /// The groups the I/O driver should currently be joined to.  For a flat
+    /// session this is every session group; for a layered session it is the
+    /// cumulative prefix up to the current subscription level — the driver
+    /// joins these at start-up and afterwards tracks the
+    /// [`ClientEvent::Join`] / [`ClientEvent::Leave`] events.
+    pub fn subscribed_groups(&self) -> Vec<u32> {
+        match &self.controller {
+            Some(c) => c.subscribed_groups().collect(),
+            None => self.control.groups().collect(),
+        }
+    }
+
+    /// True when the session runs the receiver-driven layered
+    /// congestion-control protocol (the server announced an SP cadence).
+    pub fn is_layered(&self) -> bool {
+        self.controller.is_some()
+    }
+
+    /// Current cumulative subscription level of a layered session (`0` =
+    /// base layer only); `None` for flat sessions.
+    pub fn subscription_level(&self) -> Option<usize> {
+        self.controller.as_ref().map(|c| c.level())
     }
 
     /// Reception statistics so far.
@@ -252,7 +329,37 @@ impl ClientSession {
     }
 
     /// Feed one received datagram to the session.
+    ///
+    /// Besides the decode-progress events, a layered session may answer with
+    /// [`ClientEvent::Join`] or [`ClientEvent::Leave`] when the datagram's
+    /// header pushed the congestion-control logic across a synchronisation
+    /// point; the driver applies the change on its transport.  A
+    /// subscription event takes priority over `Buffered`/`Duplicate`/
+    /// `AttemptFailed` for the same datagram (the decode bookkeeping still
+    /// happens; only the report favours the actionable event), while
+    /// `Complete` always wins — a finished download needs no subscription.
     pub fn handle_datagram(&mut self, datagram: Bytes) -> ClientEvent {
+        let event = self.digest_datagram(datagram);
+        if event == ClientEvent::Complete {
+            // A datagram can cross an SP *and* finish the decode; the driver
+            // will only ever see `Complete`, so any subscription change it
+            // was never told about must be unwound or `subscribed_groups`
+            // would disagree with the transport's actual memberships.
+            if let Some(controller) = &mut self.controller {
+                controller.rollback_undelivered();
+            }
+            return event;
+        }
+        if event == ClientEvent::Ignored {
+            return event;
+        }
+        match self.controller.as_mut().and_then(|c| c.pop_decision()) {
+            Some(decision) => decision,
+            None => event,
+        }
+    }
+
+    fn digest_datagram(&mut self, datagram: Bytes) -> ClientEvent {
         if self.file.is_some() {
             return ClientEvent::Complete;
         }
@@ -270,6 +377,12 @@ impl ClientSession {
                 .expected_payload_len(idx, self.control.packet_size)
         {
             return ClientEvent::Ignored;
+        }
+        if let Some(controller) = &mut self.controller {
+            // Every valid reception feeds the loss tracker — duplicates
+            // included, since the congestion signal is about datagrams
+            // arriving, not about their novelty.
+            controller.observe(pkt.header.serial, pkt.header.group);
         }
         if !self.stats.record(idx) {
             return ClientEvent::Duplicate;
@@ -513,6 +626,161 @@ mod tests {
         }
         assert!(client.is_complete());
         assert_eq!(client.file().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn layered_control_parameters_are_validated() {
+        let server = ServerSession::with_defaults(&[1u8; 10_000], 1, 5).unwrap();
+        let base = server.control_info().clone();
+        for (layers, sp, burst) in [
+            (1usize, 1usize, 0usize),         // every round an SP
+            (1, 8, 8),                        // burst as long as the interval
+            (1, 8, 9),                        // burst longer than the interval
+            (1, MAX_SP_INTERVAL + 1, 0),      // unbounded accounting
+            (MAX_SCHEDULED_LAYERS + 1, 8, 1), // block size 2^16: schedule cap
+        ] {
+            let mut control = base.clone();
+            control.layers = layers;
+            control.sp_interval = sp;
+            control.burst_rounds = burst;
+            assert!(
+                matches!(
+                    ClientSession::new(control),
+                    Err(TornadoError::MalformedInput { .. })
+                ),
+                "layers = {layers}, sp = {sp}, burst = {burst} must be rejected"
+            );
+        }
+        // The same layer count is fine for a flat session…
+        let mut control = base.clone();
+        control.layers = MAX_SCHEDULED_LAYERS + 1;
+        assert!(ClientSession::new(control).is_ok());
+        // …and the minimal layered cadence is fine too.
+        let mut control = base.clone();
+        control.sp_interval = 2;
+        control.burst_rounds = 1;
+        let client = ClientSession::new(control).unwrap();
+        assert!(client.is_layered());
+        assert_eq!(client.subscription_level(), Some(0));
+    }
+
+    /// Drive one layered client over `SimMulticast` the way any driver must:
+    /// join `subscribed_groups()` up front, then obey Join/Leave events.
+    fn run_layered_download(
+        server: &mut ServerSession,
+        net: &SimMulticast,
+        max_rounds: usize,
+    ) -> (ClientSession, Vec<ClientEvent>) {
+        let mut tx = net.endpoint(0.0);
+        let mut rx = net.endpoint(0.0);
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        for group in client.subscribed_groups() {
+            rx.join(group).unwrap();
+        }
+        let mut subscription_events = Vec::new();
+        'outer: for _ in 0..max_rounds {
+            server.send_round(&mut tx);
+            while let Some((_group, datagram)) = rx.recv() {
+                match client.handle_datagram(datagram) {
+                    ClientEvent::Join { group } => {
+                        rx.join(group).unwrap();
+                        subscription_events.push(ClientEvent::Join { group });
+                    }
+                    ClientEvent::Leave { group } => {
+                        rx.leave(group);
+                        subscription_events.push(ClientEvent::Leave { group });
+                    }
+                    ClientEvent::Complete => break 'outer,
+                    _ => {}
+                }
+            }
+        }
+        (client, subscription_events)
+    }
+
+    #[test]
+    fn layered_download_climbs_while_lossless_and_reconstructs() {
+        let data: Vec<u8> = (0..400_000).map(|i| (i * 31 % 251) as u8).collect();
+        let mut server = ServerSession::new(
+            &data,
+            SessionConfig {
+                layers: 6,
+                code_seed: 3,
+                sp_interval: 2,
+                burst_rounds: 1,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(server.is_layered());
+        let net = SimMulticast::new(5);
+        let (client, events) = run_layered_download(&mut server, &net, 200);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        // With no bottleneck every burst is clean: the receiver only ever
+        // joins, one layer per evaluated SP, starting from the base layer.
+        assert!(
+            events.iter().all(|e| matches!(e, ClientEvent::Join { .. })),
+            "lossless path must never shed a layer: {events:?}"
+        );
+        let level = client.subscription_level().unwrap();
+        assert!(level >= 2, "client stuck at level {level}");
+        assert_eq!(events.len(), level, "one join per level climbed");
+        assert_eq!(
+            client.subscribed_groups(),
+            (0..=level as u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn join_leave_decisions_are_deterministic_for_a_datagram_trace() {
+        // Record the full datagram trace of a layered carousel, then replay
+        // it twice through the subscription-filtering a real driver performs.
+        // The sans-I/O split means the event sequence must be identical —
+        // the state machine has no clock, RNG or socket to diverge on.
+        let data = vec![7u8; 150_000];
+        let config = SessionConfig {
+            layers: 6,
+            code_seed: 11,
+            sp_interval: 2,
+            burst_rounds: 1,
+            ..SessionConfig::default()
+        };
+        let mut server = ServerSession::new(&data, config).unwrap();
+        let mut trace: Vec<(u32, Bytes)> = Vec::new();
+        for _ in 0..40 {
+            while let Some(out) = server.poll_transmit() {
+                trace.push(out);
+            }
+            server.advance_round();
+        }
+        let replay = || {
+            let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+            let mut joined: Vec<u32> = client.subscribed_groups();
+            let mut events = Vec::new();
+            for (group, datagram) in &trace {
+                if !joined.contains(group) {
+                    continue; // not subscribed: the datagram never arrives
+                }
+                match client.handle_datagram(datagram.clone()) {
+                    ClientEvent::Join { group } => {
+                        joined.push(group);
+                        events.push(ClientEvent::Join { group });
+                    }
+                    ClientEvent::Leave { group } => {
+                        joined.retain(|&g| g != group);
+                        events.push(ClientEvent::Leave { group });
+                    }
+                    ClientEvent::Complete => break,
+                    _ => {}
+                }
+            }
+            (events, client.subscription_level(), client.is_complete())
+        };
+        let first = replay();
+        let second = replay();
+        assert_eq!(first, second, "identical trace must yield identical run");
+        assert!(!first.0.is_empty(), "premise: the trace spans several SPs");
     }
 
     #[test]

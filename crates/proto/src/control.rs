@@ -15,8 +15,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 /// First byte of every control datagram.
 pub const CONTROL_MAGIC: u8 = 0xDF;
-/// Wire-format version.
-pub const CONTROL_VERSION: u8 = 0x01;
+/// Wire-format version.  Version 2 added the layered congestion-control
+/// parameters (`sp_interval`, `burst_rounds`) to [`ControlInfo`].
+pub const CONTROL_VERSION: u8 = 0x02;
 
 /// The session parameters a client fetches over the control channel before
 /// subscribing.
@@ -43,6 +44,13 @@ pub struct ControlInfo {
     /// First multicast group of the session; layer `l` uses group
     /// `base_group + l`.
     pub base_group: u32,
+    /// Rounds between synchronisation points of the layered
+    /// congestion-control schedule, or `0` for a flat (single-rate) carousel
+    /// with no receiver-driven adaptation.
+    pub sp_interval: usize,
+    /// Rounds of double-rate burst preceding each synchronisation point
+    /// (meaningful only when `sp_interval > 0`).
+    pub burst_rounds: usize,
     /// Profile name ("tornado-a" / "tornado-b").
     pub profile: String,
 }
@@ -69,6 +77,13 @@ impl ControlInfo {
         buf.put_slice(&self.code_seed.to_be_bytes());
         buf.put_slice(&(self.layers as u32).to_be_bytes());
         buf.put_slice(&self.base_group.to_be_bytes());
+        // Sessions validate the cadence long before it reaches the wire
+        // (df_mcast::MAX_SP_INTERVAL is far below u32::MAX); guard
+        // hand-built infos against a silently truncating cast anyway.
+        debug_assert!(self.sp_interval <= u32::MAX as usize);
+        debug_assert!(self.burst_rounds <= u32::MAX as usize);
+        buf.put_slice(&(self.sp_interval as u32).to_be_bytes());
+        buf.put_slice(&(self.burst_rounds as u32).to_be_bytes());
         let name = self.profile.as_bytes();
         debug_assert!(name.len() <= u16::MAX as usize);
         buf.put_slice(&(name.len() as u16).to_be_bytes());
@@ -84,6 +99,8 @@ impl ControlInfo {
         let code_seed = r.u64()?;
         let layers = r.u32()? as usize;
         let base_group = r.u32()?;
+        let sp_interval = r.u32()? as usize;
+        let burst_rounds = r.u32()? as usize;
         let name_len = r.u16()? as usize;
         let name = r.take(name_len)?;
         Some(ControlInfo {
@@ -95,6 +112,8 @@ impl ControlInfo {
             code_seed,
             layers,
             base_group,
+            sp_interval,
+            burst_rounds,
             profile: String::from_utf8(name.to_vec()).ok()?,
         })
     }
@@ -308,6 +327,10 @@ mod tests {
             code_seed,
             layers: layers as usize,
             base_group,
+            // Derive layered congestion-control parameters that also cover
+            // the flat (0, 0) case.
+            sp_interval: (session_id % 5) as usize * 4,
+            burst_rounds: (session_id % 3) as usize,
             // Arbitrary printable-ASCII profile name.
             profile: name_bytes.iter().map(|b| (b % 94 + 33) as char).collect(),
         }

@@ -22,14 +22,29 @@
 //!
 //! The **driver loop owns the I/O**: it holds a [`Transport`] (and, for a
 //! real deployment, the control socket), joins the groups a session asks for
-//! ([`ClientSession::groups`]), pumps `poll_transmit` output into
+//! ([`ClientSession::subscribed_groups`]), pumps `poll_transmit` output into
 //! `Transport::send`, and feeds `Transport::recv` output into
 //! `handle_datagram`.  Pacing, blocking, threading and async are all driver
 //! decisions — which is why the same session code runs unchanged over the
 //! deterministic in-memory [`SimMulticast`] in tests and over real UDP
-//! sockets ([`UdpMulticastTransport`]) in the `udp_fountain` example at the
-//! workspace root and the UDP integration tests, and why a future async
-//! driver needs no changes to this crate.
+//! sockets ([`UdpMulticastTransport`]) in the `udp_fountain` and
+//! `layered_fountain` examples at the workspace root and the UDP integration
+//! tests, and why a future async driver needs no changes to this crate.
+//!
+//! ## Layered congestion control
+//!
+//! A session configured with a nonzero [`SessionConfig::sp_interval`]
+//! transmits the Section 7.1 **layered** schedule: each layer on its own
+//! multicast group at geometrically increasing rates, synchronisation
+//! points every `sp_interval` rounds and double-rate bursts in the
+//! `burst_rounds` before each SP.  The cadence is advertised on the control
+//! channel ([`ControlInfo::sp_interval`] / [`ControlInfo::burst_rounds`])
+//! and the client runs the paper's receiver-driven join/leave logic: track
+//! loss between SPs and during bursts, add a layer at an SP only after a
+//! clean burst, shed the top layer on sustained loss.  Decisions surface as
+//! [`ClientEvent::Join`] / [`ClientEvent::Leave`] *intents* — the driver
+//! performs the actual [`Transport::join`] / [`Transport::leave`], so the
+//! sans-I/O split holds for congestion control too.
 //!
 //! The 12-byte packet header (packet index, serial number, group number) and
 //! the 500-byte default payload match Section 7.3's description of the
@@ -41,6 +56,7 @@
 
 pub mod client;
 pub mod control;
+mod layered;
 pub mod server;
 pub mod transport;
 pub mod udp;

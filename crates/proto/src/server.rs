@@ -13,7 +13,7 @@ use crate::transport::Transport;
 use crate::wire::{DataPacket, PacketHeader};
 use bytes::Bytes;
 use df_core::{PacketizedFile, TornadoCode, TornadoProfile, TORNADO_A};
-use df_mcast::TransmissionSchedule;
+use df_mcast::{LayeredSession, TransmissionSchedule};
 use std::collections::VecDeque;
 
 /// Parameters for one carousel session.
@@ -34,6 +34,16 @@ pub struct SessionConfig {
     /// Session identifier.  [`FountainServer::add_session`] overrides this
     /// with the next free id.
     pub session_id: u32,
+    /// Rounds between synchronisation points, or `0` for a flat carousel.
+    /// When nonzero the session transmits the Section 7.1 layered
+    /// congestion-control schedule: every `sp_interval`-th round is a sync
+    /// point (a join opportunity for receivers) and the `burst_rounds`
+    /// rounds before each SP are sent at double rate so receivers can probe
+    /// the next subscription level without feedback to the source.
+    pub sp_interval: usize,
+    /// Rounds of double-rate burst preceding each SP (only meaningful when
+    /// `sp_interval > 0`; must then be `< sp_interval`).
+    pub burst_rounds: usize,
 }
 
 impl Default for SessionConfig {
@@ -45,6 +55,8 @@ impl Default for SessionConfig {
             code_seed: 0,
             base_group: 0,
             session_id: 0,
+            sp_interval: 0,
+            burst_rounds: 0,
         }
     }
 }
@@ -67,6 +79,9 @@ pub struct ServerSession {
     code: TornadoCode,
     encoding: Vec<Vec<u8>>,
     schedule: TransmissionSchedule,
+    /// SP/burst cadence of the layered congestion-control mode; `None` for a
+    /// flat carousel.
+    layered: Option<LayeredSession>,
     control: ControlInfo,
     serial: u32,
     round: usize,
@@ -79,11 +94,23 @@ impl ServerSession {
     ///
     /// # Errors
     ///
-    /// Propagates packetisation and encoding errors from `df-core`.
+    /// Propagates packetisation and encoding errors from `df-core`, and
+    /// returns [`df_core::TornadoError::InvalidParameters`] for a degenerate
+    /// layered configuration (see [`df_mcast::LayeredSession::new`]).
     pub fn new(data: &[u8], config: SessionConfig) -> df_core::Result<Self> {
         let file = PacketizedFile::split(data, config.packet_size)?;
         let code = TornadoCode::with_profile(file.num_packets(), config.profile, config.code_seed)?;
         let encoding = code.encode(file.packets())?;
+        let layered = if config.sp_interval > 0 {
+            Some(LayeredSession::new(
+                config.layers,
+                code.n(),
+                config.sp_interval,
+                config.burst_rounds,
+            )?)
+        } else {
+            None
+        };
         let schedule = TransmissionSchedule::new(config.layers, code.n());
         let control = ControlInfo {
             session_id: config.session_id,
@@ -94,12 +121,15 @@ impl ServerSession {
             code_seed: config.code_seed,
             layers: config.layers,
             base_group: config.base_group,
+            sp_interval: config.sp_interval,
+            burst_rounds: config.burst_rounds,
             profile: config.profile.name.to_string(),
         };
         let mut session = ServerSession {
             code,
             encoding,
             schedule,
+            layered,
             control,
             serial: 0,
             round: 0,
@@ -141,6 +171,25 @@ impl ServerSession {
         &self.code
     }
 
+    /// The reverse-binary transmission schedule driving the carousel.
+    pub fn schedule(&self) -> &TransmissionSchedule {
+        &self.schedule
+    }
+
+    /// True when the session transmits the layered congestion-control
+    /// schedule (SPs and bursts) rather than a flat carousel.
+    pub fn is_layered(&self) -> bool {
+        self.layered.is_some()
+    }
+
+    /// True when the round currently being transmitted is part of a
+    /// double-rate burst period (always false for flat sessions).
+    pub fn in_burst(&self) -> bool {
+        self.layered
+            .as_ref()
+            .is_some_and(|l| l.is_burst(self.round))
+    }
+
     /// The next datagram to transmit this round, as `(group, datagram)`, or
     /// `None` once the round's schedule is exhausted (call
     /// [`ServerSession::advance_round`] to start the next round).
@@ -174,9 +223,21 @@ impl ServerSession {
 
     fn refill_round(&mut self) {
         self.pending.clear();
+        let burst = self.in_burst();
         for layer in 0..self.schedule.layers() {
-            for idx in self.schedule.transmission(layer, self.round) {
+            let tx = self.schedule.transmission(layer, self.round);
+            for &idx in &tx {
                 self.pending.push_back((layer, idx));
+            }
+            if burst {
+                // The burst repeats the layer's packets at double rate; the
+                // duplicates carry no new data, they exist to stress the
+                // receiver's bottleneck so the resulting loss (or its
+                // absence) answers the "could I sustain one more layer?"
+                // probe without any feedback channel.
+                for &idx in &tx {
+                    self.pending.push_back((layer, idx));
+                }
             }
         }
     }
@@ -383,6 +444,63 @@ mod tests {
         }
         assert_eq!(from_send, from_polls);
         assert_eq!(a.packets_sent(), b.packets_sent());
+    }
+
+    #[test]
+    fn layered_sessions_emit_n_datagrams_per_plain_round_and_2n_per_burst() {
+        // The serial → round contract the client's congestion controller
+        // relies on: across all layers a round transmits every encoding
+        // packet exactly once (Table 5's columns cover the block), twice
+        // during a burst.
+        let data = vec![4u8; 30_000];
+        let mut server = ServerSession::new(
+            &data,
+            SessionConfig {
+                layers: 4,
+                code_seed: 2,
+                sp_interval: 4,
+                burst_rounds: 2,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let n = server.code().n();
+        for round in 0..12 {
+            let mut count = 0usize;
+            let mut indices = std::collections::HashMap::new();
+            while let Some((_group, datagram)) = server.poll_transmit() {
+                let pkt = DataPacket::from_bytes(datagram).unwrap();
+                *indices.entry(pkt.header.packet_index).or_insert(0usize) += 1;
+                count += 1;
+            }
+            let burst = round % 4 >= 2; // sp_interval 4, burst_rounds 2
+            assert_eq!(server.in_burst(), burst, "round {round}");
+            let per_packet = if burst { 2 } else { 1 };
+            assert_eq!(count, per_packet * n, "round {round}");
+            assert_eq!(indices.len(), n, "round {round} must cover the encoding");
+            assert!(indices.values().all(|&c| c == per_packet));
+            server.advance_round();
+        }
+        assert_eq!(server.packets_sent() as usize, 12 * n / 2 * 3);
+    }
+
+    #[test]
+    fn degenerate_layered_config_is_a_constructor_error() {
+        for (sp, burst) in [(1usize, 0usize), (4, 4), (4, 5)] {
+            let result = ServerSession::new(
+                &[1u8; 10_000],
+                SessionConfig {
+                    layers: 4,
+                    sp_interval: sp,
+                    burst_rounds: burst,
+                    ..SessionConfig::default()
+                },
+            );
+            assert!(
+                matches!(result, Err(df_core::TornadoError::InvalidParameters { .. })),
+                "sp = {sp}, burst = {burst} must be rejected"
+            );
+        }
     }
 
     #[test]

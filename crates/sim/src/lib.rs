@@ -16,12 +16,16 @@
 //!   and listening until its decoder (Tornado or interleaved) completes.
 //! * [`experiment`] — the experiment drivers that regenerate Table 4 and
 //!   Figures 4, 5 and 6.
+//! * [`layered`] — the Figure 7-style layered congestion-control experiment:
+//!   a heterogeneous bottleneck population running the real `df-proto`
+//!   client sessions (receiver-driven join/leave) over `SimMulticast`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod interleaved;
+pub mod layered;
 pub mod loss;
 pub mod receiver;
 pub mod trace;
@@ -31,6 +35,7 @@ pub use experiment::{
     EfficiencyPoint, SpeedupRow,
 };
 pub use interleaved::InterleavedCode;
+pub use layered::{layered_population_experiment, LayeredOutcome};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
 pub use receiver::{simulate_interleaved_receiver, simulate_tornado_receiver, ReceiverOutcome};
 pub use trace::{ReceiverTrace, TraceSet};

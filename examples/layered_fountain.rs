@@ -1,0 +1,210 @@
+//! Receiver-driven layered congestion control over real UDP sockets
+//! (Section 7.1 of the paper): the server carousels one Tornado encoding
+//! across six multicast groups at geometrically increasing rates, with a
+//! synchronisation point every other round and a double-rate burst before
+//! each SP.  Receivers subscribe to the base layer only and then *find
+//! their own rate* — the session emits `ClientEvent::Join`/`Leave` intents
+//! and the driver loop executes them on the transport, joining a higher
+//! group after every clean burst and shedding the top layer on sustained
+//! loss.  No receiver ever sends a packet towards the source.
+//!
+//! Run with: `cargo run --release --example layered_fountain`
+//!
+//! Two receivers use the carousel in turn (a fountain client joins the
+//! perpetual stream whenever it likes; sequential receivers also keep the
+//! group ports free for one another in loopback mode): an unthrottled one
+//! that climbs as far as the download length allows, and one behind a
+//! deliberately lossy path (every fourth datagram dropped in the driver)
+//! whose bursts are never clean — it stays pinned near the base layer,
+//! finishing later, exactly the heterogeneity the layered scheme exists to
+//! serve.
+//!
+//! Addressing: real IPv4 multicast when the host can loop it back,
+//! loopback unicast otherwise (same sessions, same datagrams either way).
+
+use digital_fountain::proto::{
+    ClientEvent, ClientSession, ControlRequest, ControlResponse, FountainServer, GroupAddressing,
+    SessionConfig, Transport, UdpMulticastTransport,
+};
+use std::net::{Ipv4Addr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MCAST_ADDR: Ipv4Addr = Ipv4Addr::new(239, 255, 71, 92);
+const DATA_PORT: u16 = 47101;
+const CONTROL_PORT: u16 = 47100;
+/// A probe-only group well above the session's group range.
+const PROBE_GROUP: u32 = 900;
+
+/// Decide once whether this host can loop multicast back to itself; fall
+/// back to loopback unicast otherwise so the example runs anywhere.
+fn choose_addressing() -> GroupAddressing {
+    if let Ok(mut probe) = UdpMulticastTransport::multicast(MCAST_ADDR, DATA_PORT) {
+        if probe.join(PROBE_GROUP).is_ok() {
+            probe.send(PROBE_GROUP, bytes::Bytes::from_static(b"probe"));
+            let deadline = Instant::now() + Duration::from_millis(300);
+            while Instant::now() < deadline {
+                if probe.recv().is_some() {
+                    return probe.addressing();
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    println!("(multicast loop unavailable; using loopback unicast addressing)");
+    GroupAddressing::LoopbackUnicast {
+        base_port: DATA_PORT,
+    }
+}
+
+fn patterned_file(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 % 251) as u8).collect()
+}
+
+/// One receiver: fetch the session over the control channel, join the base
+/// layer, then obey the session's join/leave intents until the file is
+/// whole.  `drop_every` simulates a congested path by discarding every
+/// n-th datagram in the driver (0 = clean path).
+fn run_receiver(
+    name: &'static str,
+    addressing: GroupAddressing,
+    drop_every: u64,
+    expected: Vec<u8>,
+) {
+    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind control client");
+    control
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    let mut buf = [0u8; 2048];
+    let mut client: Option<ClientSession> = None;
+    for _ in 0..20 {
+        control
+            .send_to(
+                &ControlRequest::Describe { session_id: 0 }.to_bytes(),
+                (Ipv4Addr::LOCALHOST, CONTROL_PORT),
+            )
+            .expect("send control request");
+        if let Ok((len, _)) = control.recv_from(&mut buf) {
+            if let Some(ControlResponse::Session { info }) =
+                ControlResponse::from_bytes(&buf[..len])
+            {
+                client = Some(ClientSession::new(info).expect("valid control info"));
+                break;
+            }
+        }
+    }
+    let mut client = client.expect("control channel answered");
+    println!(
+        "[{name}] session: {} packets over {} layers, SP every {} rounds",
+        client.control_info().n,
+        client.control_info().layers,
+        client.control_info().sp_interval
+    );
+
+    let mut transport = UdpMulticastTransport::new(addressing).expect("client transport");
+    for group in client.subscribed_groups() {
+        transport.join(group).expect("join base layer");
+    }
+
+    let t0 = Instant::now();
+    let mut seen = 0u64;
+    let mut journey: Vec<String> = vec!["L0".into()];
+    while !client.is_complete() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "[{name}] download stalled at {:?}",
+            client.stats()
+        );
+        let Some((_group, datagram)) = transport.recv() else {
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        };
+        seen += 1;
+        if drop_every != 0 && seen.is_multiple_of(drop_every) {
+            continue; // the congested path eats this one
+        }
+        match client.handle_datagram(datagram) {
+            ClientEvent::Join { group } => {
+                transport.join(group).expect("join next layer");
+                journey.push(format!("+L{}", client.subscription_level().unwrap()));
+            }
+            ClientEvent::Leave { group } => {
+                transport.leave(group);
+                journey.push(format!("-to L{}", client.subscription_level().unwrap()));
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        client.file().unwrap(),
+        &expected[..],
+        "[{name}] corrupt file"
+    );
+    let stats = client.stats();
+    println!(
+        "[{name}] complete in {:.2?}: level {}, subscription journey {}, \
+         {} received / {} distinct (eta {:.3})",
+        t0.elapsed(),
+        client.subscription_level().unwrap(),
+        journey.join(" "),
+        stats.received(),
+        stats.distinct(),
+        stats.reception_efficiency()
+    );
+}
+
+fn main() {
+    let addressing = choose_addressing();
+    let file = patterned_file(80_000);
+
+    let mut server = FountainServer::new();
+    server
+        .add_session(
+            &file,
+            SessionConfig {
+                layers: 6,
+                code_seed: 1998,
+                sp_interval: 2,
+                burst_rounds: 1,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("layered session encodes");
+    println!(
+        "server: 1 layered session, groups 0..6, bandwidths 1,1,2,4,8,16 (SP/burst congestion control)"
+    );
+
+    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, CONTROL_PORT)).expect("bind control");
+    control.set_nonblocking(true).expect("nonblocking control");
+    let mut server_transport = UdpMulticastTransport::new(addressing).expect("server transport");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            let mut sent = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                while let Ok((len, from)) = control.recv_from(&mut buf) {
+                    let reply = server.handle_control_datagram(&buf[..len]);
+                    let _ = control.send_to(&reply, from);
+                }
+                if let Some((group, datagram)) = server.poll_transmit() {
+                    server_transport.send(group, datagram);
+                }
+                sent += 1;
+                if sent.is_multiple_of(64) {
+                    // Pace the carousel so loopback receivers keep up.
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        })
+    };
+
+    run_receiver("wideband", addressing, 0, patterned_file(80_000));
+    run_receiver("congested", addressing, 4, patterned_file(80_000));
+
+    stop.store(true, Ordering::Relaxed);
+    server_thread.join().expect("server thread");
+    println!("both receivers rebuilt the file; neither sent a packet upstream");
+}

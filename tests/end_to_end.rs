@@ -149,6 +149,47 @@ fn fountain_server_carousels_two_files_concurrently_over_disjoint_groups() {
 }
 
 #[test]
+fn heterogeneous_bottlenecks_find_distinct_layers_and_all_complete() {
+    // Section 7.1's receiver-driven congestion control, end to end: one
+    // layered carousel (6 layers, SP every 2 rounds, 1-round burst), three
+    // receivers behind 1×, 3× and 7× base-rate bottlenecks, each running the
+    // same `ClientSession` join/leave state machine the UDP loopback test
+    // drives.  Every receiver must converge to the highest cumulative level
+    // its bottleneck sustains (relative bandwidths 1, 2, 4, …) and still
+    // reconstruct the file; a wider pipe must finish sooner.
+    let rows = digital_fountain::sim::layered_population_experiment(
+        400_000,
+        6,
+        2,
+        1,
+        &[1.0, 3.0, 7.0],
+        9,
+        400,
+    );
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!(
+            row.complete,
+            "receiver behind {}x bottleneck never completed",
+            row.bottleneck
+        );
+        assert_eq!(row.k, 800);
+    }
+    let levels: Vec<usize> = rows.iter().map(|r| r.final_level).collect();
+    assert_eq!(
+        levels,
+        vec![0, 1, 2],
+        "1x/3x/7x bottlenecks must converge to distinct subscription levels"
+    );
+    // Completion time scales down as the subscribed rate scales up.
+    assert!(rows[0].rounds > rows[1].rounds && rows[1].rounds > rows[2].rounds);
+    // The narrow receiver holds one level throughout, so the One Level
+    // Property keeps its stream duplicate-free; the adapting receivers pay
+    // burst duplicates for their probes.
+    assert!(rows[0].distinctness_efficiency() > 0.99);
+}
+
+#[test]
 fn tornado_b_code_roundtrips_through_packetized_files() {
     let data = random_file(123_457, 2);
     let file = PacketizedFile::split(&data, 512).unwrap();

@@ -211,6 +211,95 @@ fn udp_loopback_download_survives_artificially_dropped_datagrams() {
 }
 
 #[test]
+fn udp_loopback_layered_download_with_receiver_driven_joins() {
+    // The layered congestion-control mode over real sockets: the client
+    // starts subscribed to the base layer only (one bound UDP port), climbs
+    // by joining further group ports as its session emits Join intents at
+    // clean sync points, and completes the download — the same
+    // ClientSession code path the SimMulticast layered tests drive.
+    let control_port = 48409;
+    let data_port = 48410;
+    let file = patterned_file(60_000, 4);
+
+    let mut server = FountainServer::new();
+    let id = server
+        .add_session(
+            &file,
+            SessionConfig {
+                layers: 6,
+                code_seed: 31,
+                sp_interval: 2,
+                burst_rounds: 1,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, control_port)).expect("bind control");
+    let server_transport = UdpMulticastTransport::loopback(data_port).unwrap();
+    let mut client_transport = UdpMulticastTransport::loopback(data_port).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = stop.clone();
+        std::thread::spawn(move || serve(server, control, server_transport, stop))
+    };
+
+    // The cadence arrives over the real control channel, like everything
+    // else the client knows about the session.
+    let mut client = describe_over_udp((Ipv4Addr::LOCALHOST, control_port), id);
+    assert!(client.is_layered());
+    assert_eq!(client.control_info().sp_interval, 2);
+    let initial = client.subscribed_groups();
+    assert_eq!(
+        initial.len(),
+        1,
+        "a layered receiver starts at the base layer"
+    );
+    for group in initial {
+        client_transport.join(group).unwrap();
+    }
+
+    let t0 = Instant::now();
+    let mut joins = 0usize;
+    let mut leaves = 0usize;
+    while !client.is_complete() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "layered download did not complete: {:?} (level {:?}, {joins} joins, {leaves} leaves)",
+            client.stats(),
+            client.subscription_level(),
+        );
+        match client_transport.recv() {
+            Some((_group, datagram)) => match client.handle_datagram(datagram) {
+                digital_fountain::proto::ClientEvent::Join { group } => {
+                    client_transport.join(group).unwrap();
+                    joins += 1;
+                }
+                digital_fountain::proto::ClientEvent::Leave { group } => {
+                    client_transport.leave(group);
+                    leaves += 1;
+                }
+                _ => {}
+            },
+            None => std::thread::sleep(Duration::from_micros(200)),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    server_thread.join().unwrap();
+
+    assert_eq!(client.file().unwrap(), &file[..]);
+    assert!(
+        joins >= 1,
+        "an unthrottled loopback receiver must climb at least one layer"
+    );
+    // The driver's membership always mirrors the session's subscription.
+    let mut expected = client.subscribed_groups();
+    let mut joined = client_transport.joined_groups();
+    expected.sort_unstable();
+    joined.sort_unstable();
+    assert_eq!(joined, expected);
+}
+
+#[test]
 fn udp_loopback_and_sim_emit_identical_datagrams() {
     // The real-socket proof in miniature: the datagrams a ServerSession emits
     // are byte-identical whether the driver hands them to SimMulticast or to
