@@ -1,0 +1,373 @@
+//! The CI performance gate: compare a freshly generated `bench-json` report
+//! against a committed `BENCH_pr<N>.json` baseline and **fail** (exit 1) on
+//! a throughput regression beyond the tolerance in any shared row.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --baseline=BENCH_pr4.json --fresh=bench-report.json [--tolerance=0.30]
+//! perf_gate --baseline=BENCH_pr4.json --self-test [--tolerance=0.30]
+//! ```
+//!
+//! A row is *shared* when both reports carry it — newly added rows (or rows
+//! retired by a redesign) are reported but never gate, so the baseline file
+//! only needs updating when a PR actually records new numbers.  The compared
+//! metrics are the throughput fields: `codes.<name>.{encode,decode}_mbps`
+//! and `driver_throughput.{aggregate_mbps,sessions_per_s}`.  Latency-shaped
+//! fields (`*_s`) and the layered-efficiency section (convergence levels,
+//! not speed) are ignored.
+//!
+//! `--self-test` proves the gate can fail: it synthesizes a report with
+//! every throughput metric halved (an injected 2× slowdown), checks the gate
+//! rejects it at the given tolerance, and checks an identical report passes
+//! — guarding the guard, so a refactor that quietly made the comparison
+//! vacuous turns CI red.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Throughput metrics extracted from one report: metric path → MB/s (or
+/// sessions/s).
+type Metrics = BTreeMap<String, f64>;
+
+fn object(value: &Value) -> Option<&[(String, Value)]> {
+    match value {
+        Value::Object(fields) => Some(fields),
+        _ => None,
+    }
+}
+
+fn field<'v>(value: &'v Value, name: &str) -> Option<&'v Value> {
+    object(value)?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Pull every gated throughput metric out of a parsed report.
+fn extract_metrics(report: &Value) -> Metrics {
+    let mut out = Metrics::new();
+    if let Some(codes) = field(report, "codes").and_then(object) {
+        for (code, row) in codes {
+            for metric in ["encode_mbps", "decode_mbps"] {
+                if let Some(v) = field(row, metric).and_then(as_f64) {
+                    out.insert(format!("codes.{code}.{metric}"), v);
+                }
+            }
+        }
+    }
+    if let Some(driver) = field(report, "driver_throughput") {
+        for metric in ["aggregate_mbps", "sessions_per_s"] {
+            if let Some(v) = field(driver, metric).and_then(as_f64) {
+                out.insert(format!("driver_throughput.{metric}"), v);
+            }
+        }
+    }
+    out
+}
+
+/// One compared metric.
+#[derive(Debug, PartialEq)]
+struct Comparison {
+    metric: String,
+    baseline: f64,
+    fresh: f64,
+    /// `fresh / baseline` — below `1 - tolerance` is a regression.
+    ratio: f64,
+    regressed: bool,
+}
+
+/// Compare the shared metrics of two reports at the given tolerance.
+fn compare(baseline: &Metrics, fresh: &Metrics, tolerance: f64) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter_map(|(metric, &base)| {
+            let &new = fresh.get(metric)?;
+            let ratio = if base > 0.0 { new / base } else { 1.0 };
+            Some(Comparison {
+                metric: metric.clone(),
+                baseline: base,
+                fresh: new,
+                ratio,
+                regressed: ratio < 1.0 - tolerance,
+            })
+        })
+        .collect()
+}
+
+fn render(comparisons: &[Comparison], tolerance: f64) -> bool {
+    let mut ok = true;
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%)",
+        "metric",
+        "baseline",
+        "fresh",
+        "ratio",
+        tolerance * 100.0
+    );
+    for c in comparisons {
+        let verdict = if c.regressed {
+            ok = false;
+            "REGRESSED"
+        } else if c.ratio > 1.0 + tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<42} {:>12.2} {:>12.2} {:>8.2}  {}",
+            c.metric, c.baseline, c.fresh, c.ratio, verdict
+        );
+    }
+    ok
+}
+
+/// A loaded report: its gated metrics plus the kernel tiers it was measured
+/// on (used to flag hardware mismatches, which make absolute MB/s
+/// comparisons suspect).
+struct Report {
+    metrics: Metrics,
+    kernels: Vec<(String, String)>,
+}
+
+fn load_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value =
+        serde_json::parse_value_str(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let metrics = extract_metrics(&value);
+    if metrics.is_empty() {
+        return Err(format!("{path} contains no throughput metrics"));
+    }
+    let kernels = ["gf8_kernel", "gf16_kernel"]
+        .iter()
+        .filter_map(|name| {
+            field(&value, name).and_then(|v| match v {
+                Value::String(s) => Some((name.to_string(), s.clone())),
+                _ => None,
+            })
+        })
+        .collect();
+    Ok(Report { metrics, kernels })
+}
+
+/// Absolute throughput only compares like with like: if the two reports were
+/// measured through different kernel tiers (different CPU, or a forced
+/// tier), say so loudly — a "regression" may just be hardware identity.
+fn warn_on_kernel_mismatch(baseline: &Report, fresh: &Report) {
+    for (name, base_tier) in &baseline.kernels {
+        if let Some((_, fresh_tier)) = fresh.kernels.iter().find(|(n, _)| n == name) {
+            if base_tier != fresh_tier {
+                println!(
+                    "WARNING: baseline {name} = {base_tier:?} but fresh report used \
+                     {fresh_tier:?} — this machine differs from the baseline's, so \
+                     absolute-throughput verdicts below are suspect"
+                );
+            }
+        }
+    }
+}
+
+/// Prove the gate can both pass and fail at this tolerance: an identical
+/// report must pass, a uniformly 2×-slower one must be rejected.
+fn self_test(baseline: &Metrics, tolerance: f64) -> Result<(), String> {
+    let identical = compare(baseline, baseline, tolerance);
+    if identical.iter().any(|c| c.regressed) {
+        return Err("self-test: an identical report was flagged as regressed".into());
+    }
+    let halved: Metrics = baseline.iter().map(|(k, v)| (k.clone(), v / 2.0)).collect();
+    let slowed = compare(baseline, &halved, tolerance);
+    if !slowed.iter().all(|c| c.regressed) {
+        return Err(format!(
+            "self-test: a 2x slowdown escaped the gate at tolerance {tolerance} \
+             (tolerance >= 0.5 cannot catch a halving)"
+        ));
+    }
+    println!(
+        "self-test ok: identical report passes, 2x slowdown is rejected on all {} metrics",
+        slowed.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |prefix: &str| {
+        args.iter()
+            .find(|a| a.starts_with(prefix))
+            .map(|a| a[prefix.len()..].to_string())
+    };
+    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let fresh_path = get("--fresh=").unwrap_or_else(|| "bench-report.json".to_string());
+    let tolerance: f64 = get("--tolerance=")
+        .map(|t| t.parse().expect("--tolerance must be a number"))
+        .unwrap_or(0.30);
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "--tolerance must be in [0, 1)"
+    );
+
+    let baseline = match load_report(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.iter().any(|a| a == "--self-test") {
+        return match self_test(&baseline.metrics, tolerance) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("perf_gate: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let fresh = match load_report(&fresh_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    warn_on_kernel_mismatch(&baseline, &fresh);
+    let comparisons = compare(&baseline.metrics, &fresh.metrics, tolerance);
+    if comparisons.is_empty() {
+        eprintln!("perf_gate: no shared metrics between {baseline_path} and {fresh_path}");
+        return ExitCode::FAILURE;
+    }
+    let only_in = |a: &Metrics, b: &Metrics, which: &str| {
+        for metric in a.keys().filter(|m| !b.contains_key(*m)) {
+            println!("{metric:<42} (only in {which}; not gated)");
+        }
+    };
+    only_in(&baseline.metrics, &fresh.metrics, "baseline");
+    only_in(&fresh.metrics, &baseline.metrics, "fresh report");
+    if render(&comparisons, tolerance) {
+        println!("perf gate: ok ({} shared metrics)", comparisons.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf gate: throughput regressed beyond {:.0}% on at least one shared row",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "pr": 4,
+      "gf8_kernel": "avx2",
+      "codes": {
+        "tornado_a": {"encode_s": 0.002, "decode_s": 0.004, "encode_mbps": 500.0, "decode_mbps": 250.0},
+        "cauchy": {"encode_s": 0.1, "decode_s": 0.1, "encode_mbps": 9.5, "decode_mbps": 10.5}
+      },
+      "driver_throughput": {"clients": 128, "aggregate_mbps": 400.0, "sessions_per_s": 800.0},
+      "layered_efficiency": [{"bottleneck": 1.0, "rounds": 18}]
+    }"#;
+
+    fn sample_metrics() -> Metrics {
+        extract_metrics(&serde_json::parse_value_str(SAMPLE).unwrap())
+    }
+
+    #[test]
+    fn extraction_finds_throughput_and_ignores_latency_and_layered_rows() {
+        let m = sample_metrics();
+        assert_eq!(
+            m.keys().collect::<Vec<_>>(),
+            vec![
+                "codes.cauchy.decode_mbps",
+                "codes.cauchy.encode_mbps",
+                "codes.tornado_a.decode_mbps",
+                "codes.tornado_a.encode_mbps",
+                "driver_throughput.aggregate_mbps",
+                "driver_throughput.sessions_per_s",
+            ]
+        );
+        assert_eq!(m["codes.tornado_a.encode_mbps"], 500.0);
+        assert_eq!(m["driver_throughput.sessions_per_s"], 800.0);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let m = sample_metrics();
+        let cmp = compare(&m, &m, 0.30);
+        assert_eq!(cmp.len(), 6);
+        assert!(cmp.iter().all(|c| !c.regressed));
+        assert!(self_test(&m, 0.30).is_ok());
+    }
+
+    #[test]
+    fn injected_2x_slowdown_fails_the_gate() {
+        let m = sample_metrics();
+        let halved: Metrics = m.iter().map(|(k, v)| (k.clone(), v / 2.0)).collect();
+        let cmp = compare(&m, &halved, 0.30);
+        assert!(cmp.iter().all(|c| c.regressed), "{cmp:?}");
+        // …while a 10 % dip stays within the default tolerance.
+        let dip: Metrics = m.iter().map(|(k, v)| (k.clone(), v * 0.9)).collect();
+        assert!(compare(&m, &dip, 0.30).iter().all(|c| !c.regressed));
+        // A single-row regression is enough to fail.
+        let mut one_bad = m.clone();
+        *one_bad.get_mut("codes.cauchy.decode_mbps").unwrap() /= 3.0;
+        let cmp = compare(&m, &one_bad, 0.30);
+        assert_eq!(cmp.iter().filter(|c| c.regressed).count(), 1);
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        let m = sample_metrics();
+        let halved: Metrics = m.iter().map(|(k, v)| (k.clone(), v / 2.0)).collect();
+        // At 60 % tolerance a halving is allowed — and the self-test says so.
+        assert!(compare(&m, &halved, 0.60).iter().all(|c| !c.regressed));
+        assert!(self_test(&m, 0.60).is_err());
+    }
+
+    #[test]
+    fn unshared_rows_do_not_gate() {
+        let m = sample_metrics();
+        let mut fresh = m.clone();
+        fresh.remove("codes.cauchy.encode_mbps"); // row retired in fresh
+        fresh.insert("codes.new_code.encode_mbps".into(), 1.0); // new row
+        let cmp = compare(&m, &fresh, 0.30);
+        assert_eq!(cmp.len(), 5, "only shared metrics are compared");
+        assert!(cmp.iter().all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn the_committed_baseline_parses_and_gates_the_driver_row() {
+        // The gate must be able to read the real baseline this repository
+        // ships — and that baseline must carry the driver_throughput row,
+        // otherwise the event-loop's headline metric is silently ungated.
+        // The path is relative to the workspace root, where both CI and
+        // `cargo test` run.
+        for candidate in ["BENCH_pr5.json", "../../BENCH_pr5.json"] {
+            if std::path::Path::new(candidate).exists() {
+                let report = load_report(candidate).expect("committed baseline parses");
+                assert!(report.metrics.contains_key("codes.tornado_a.encode_mbps"));
+                assert!(
+                    report
+                        .metrics
+                        .contains_key("driver_throughput.aggregate_mbps"),
+                    "the CI baseline must gate the driver row"
+                );
+                assert!(!report.kernels.is_empty(), "kernel tiers are recorded");
+                return;
+            }
+        }
+        panic!("BENCH_pr5.json not found from the test working directory");
+    }
+}

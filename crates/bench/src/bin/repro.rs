@@ -16,10 +16,14 @@
 //! encode/decode-throughput report for the four Table 2/3 codes — plus a
 //! repeated-pattern Vandermonde decode row isolating the per-pattern inverse
 //! cache, a `proto_throughput` row measuring the client-side protocol
-//! path (`ClientSession::handle_datagram` over `SimMulticast`), and a
+//! path (`ClientSession::handle_datagram` over `SimMulticast`), a
+//! `driver_throughput` row (aggregate MB/s and sessions/s for 128
+//! concurrent downloads on one `df_proto::EventLoop` thread), and a
 //! `layered_efficiency` section recording convergence level, completion
 //! rounds and reception efficiency per bottleneck — used to track
-//! performance across PRs.
+//! performance across PRs.  CI regenerates the report and
+//! `crates/bench/src/bin/perf_gate.rs` fails the build if any row shared
+//! with the committed baseline regressed beyond its tolerance.
 //! By default the harness runs *scaled-down* parameter sets (smaller maximum
 //! file sizes and fewer trials) so that `all` completes in a few minutes;
 //! pass `--full` for the paper's full sizes and trial counts (hours for the

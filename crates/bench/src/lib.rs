@@ -202,11 +202,30 @@ pub struct ThroughputRow {
     pub decode_mbps: f64,
 }
 
+/// Element-wise best (minimum time) of `n` runs of a measurement.
+///
+/// The report's numbers gate CI (`perf_gate`), so single-shot wall-clock
+/// timings are too fragile: a noisy-neighbour scheduler stall during one
+/// 2 ms decode would read as a "regression".  The best of a few runs
+/// measures what the code *can* do, which is the quantity whose decay a
+/// perf gate is meant to catch.
+fn best_of(n: usize, mut measure: impl FnMut() -> CodingTimes) -> CodingTimes {
+    let mut best = measure();
+    for _ in 1..n {
+        let t = measure();
+        best.encode_s = best.encode_s.min(t.encode_s);
+        best.decode_s = best.decode_s.min(t.decode_s);
+    }
+    best
+}
+
 /// Measure all four codes of Tables 2/3 at one operating point — plus the
 /// repeated-pattern Vandermonde decode, which isolates the per-pattern
 /// inverse cache from the one-off `O(k³)` inversion, and the prototype
 /// protocol's client-side throughput over `SimMulticast` — and return the
-/// rows of the machine-readable report.
+/// rows of the machine-readable report.  Every row is the best of three
+/// runs (see `best_of` above) except the full Vandermonde decode, whose
+/// multi-second `O(k³)` inversion is both stable and too slow to triple.
 pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
     let file_mb = (k * packet_size) as f64 / 1e6;
     let row = |code: &'static str, times: CodingTimes| ThroughputRow {
@@ -218,20 +237,41 @@ pub fn measure_all_codes(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
     vec![
         row(
             "tornado_a",
-            measure_tornado(df_core::TORNADO_A, k, packet_size),
+            best_of(3, || measure_tornado(df_core::TORNADO_A, k, packet_size)),
         ),
         row(
             "tornado_b",
-            measure_tornado(df_core::TORNADO_B, k, packet_size),
+            best_of(3, || measure_tornado(df_core::TORNADO_B, k, packet_size)),
         ),
-        row("cauchy", measure_cauchy(k, packet_size)),
+        row("cauchy", best_of(3, || measure_cauchy(k, packet_size))),
         row("vandermonde", measure_vandermonde(k, packet_size)),
         row(
             "vandermonde_repeat",
-            measure_vandermonde_repeated(k, packet_size),
+            best_of(3, || measure_vandermonde_repeated(k, packet_size)),
         ),
-        row("proto_throughput", measure_proto_throughput(k, packet_size)),
+        row(
+            "proto_throughput",
+            best_of(3, || measure_proto_throughput(k, packet_size)),
+        ),
     ]
+}
+
+/// The driver-scale operating point of the benchmark report: 128 concurrent
+/// client sessions (plus the server) on one `df_proto::EventLoop`, one
+/// thread, each downloading a 500 KB file over `SimMulticast` — aggregate
+/// goodput and completed sessions per second for the readiness-driven
+/// driver.  A quarter of the population sits behind 20 % loss, so the
+/// carousel must serve a lossy tail while the bulk completes early, as in a
+/// real deployment.  Best of three runs, like the code rows.
+pub fn measure_driver_throughput() -> df_sim::SwarmOutcome {
+    let mut best = df_sim::swarm_experiment(500_000, 1024, 128, 0xd21f, 4_000);
+    for _ in 1..3 {
+        let run = df_sim::swarm_experiment(500_000, 1024, 128, 0xd21f, 4_000);
+        if run.elapsed < best.elapsed {
+            best = run;
+        }
+    }
+    best
 }
 
 /// The layered congestion-control operating point of the benchmark report:
@@ -273,6 +313,18 @@ pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
         ));
     }
     out.push_str("  },\n");
+    // The readiness-driven event-loop driver: aggregate goodput and session
+    // completion rate for 100+ concurrent downloads on one thread.
+    let swarm = measure_driver_throughput();
+    out.push_str(&format!(
+        "  \"driver_throughput\": {{\"clients\": {}, \"completed\": {}, \"file_kb\": {}, \"steps\": {}, \"aggregate_mbps\": {:.2}, \"sessions_per_s\": {:.2}}},\n",
+        swarm.clients,
+        swarm.completed,
+        swarm.file_len / 1000,
+        swarm.steps,
+        swarm.aggregate_mbps(),
+        swarm.sessions_per_second(),
+    ));
     // Receiver-driven congestion control: convergence level, completion
     // rounds and reception efficiency per bottleneck (Section 7.1 / the
     // Figure 7 scenario over the real protocol stack).

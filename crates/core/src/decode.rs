@@ -15,7 +15,7 @@
 //! tests.
 //!
 //! The decoder is generic over [`Symbol`]: with `Vec<u8>` it produces real
-//! payloads, with [`Mark`](crate::symbol::Mark) it is the index-only decoder
+//! payloads, with [`crate::symbol::Mark`] it is the index-only decoder
 //! used by the reception-efficiency simulations (Figures 4–6).
 
 use crate::cascade::{Cascade, PacketRole};

@@ -3,7 +3,7 @@
 //!
 //! The choice of degree distribution is what makes Tornado codes work: the
 //! paper's companion analysis (Luby, Mitzenmacher, Shokrollahi, Spielman,
-//! Stemann — "Practical Loss-Resilient Codes", STOC '97, reference [8]) shows
+//! Stemann — "Practical Loss-Resilient Codes", STOC '97, reference \[8\]) shows
 //! that carefully chosen *irregular* distributions let the XOR peeling decoder
 //! recover from a fraction of erasures approaching the capacity bound, while
 //! regular graphs stall far from it.  The paper does not publish the exact

@@ -2,7 +2,7 @@
 //! "Tornado B" in the paper.
 //!
 //! The paper evaluates two codes built "using some of the principles described
-//! in [8] and [9]" (Section 5.2) but does not publish their graph parameters.
+//! in \[8\] and \[9\]" (Section 5.2) but does not publish their graph parameters.
 //! We therefore define profiles in terms of the published trade-off:
 //!
 //! * **Tornado A** — lower average degree, fastest decoding, average reception

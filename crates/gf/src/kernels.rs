@@ -91,7 +91,8 @@ fn nibble_tables() -> &'static NibbleTables {
     })
 }
 
-/// Which SIMD tier the running CPU supports.
+/// Which kernel tier dispatch selected (normally the best the CPU supports;
+/// the [`FORCE_TIER_ENV`] environment override can pin a different one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Isa {
     /// AVX-512BW: 64-byte `pshufb` steps.
@@ -101,25 +102,76 @@ enum Isa {
     Avx2,
     #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
     Ssse3,
+    /// The portable SWAR ladder as the *primary* kernel — never chosen by
+    /// detection (see the tier notes above), only forced for testing.
+    Swar,
     Scalar,
+}
+
+/// Environment override for the kernel tier: set `DF_GF_FORCE_TIER` to
+/// `scalar`, `swar`, `ssse3`, `avx2` or `avx512` to pin dispatch to that
+/// tier for the whole process (both the GF(2^8) and GF(2^16) kernels — they
+/// share this dispatcher).  CI runs the test suites under `swar` and
+/// `scalar` so the non-SIMD tiers are exercised on machines whose detection
+/// would never pick them.  An unknown or locally unsupported value panics at
+/// the first kernel call: a forced tier that silently fell back would defeat
+/// the matrix's purpose.
+pub const FORCE_TIER_ENV: &str = "DF_GF_FORCE_TIER";
+
+/// Resolve a [`FORCE_TIER_ENV`] value, validating it against this machine.
+fn forced_isa(name: &str) -> Result<Isa, String> {
+    match name {
+        "scalar" => Ok(Isa::Scalar),
+        "swar" => Ok(Isa::Swar),
+        "ssse3" | "avx2" | "avx512" => {
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            {
+                let (isa, supported) = match name {
+                    "ssse3" => (Isa::Ssse3, std::arch::is_x86_feature_detected!("ssse3")),
+                    "avx2" => (Isa::Avx2, std::arch::is_x86_feature_detected!("avx2")),
+                    _ => (Isa::Avx512, std::arch::is_x86_feature_detected!("avx512bw")),
+                };
+                if supported {
+                    Ok(isa)
+                } else {
+                    Err(format!(
+                        "{FORCE_TIER_ENV}={name} requested but this CPU does not support it"
+                    ))
+                }
+            }
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            Err(format!(
+                "{FORCE_TIER_ENV}={name} requested but the tier only exists on x86"
+            ))
+        }
+        other => Err(format!(
+            "{FORCE_TIER_ENV}={other:?} is not a kernel tier \
+             (expected scalar, swar, ssse3, avx2 or avx512)"
+        )),
+    }
+}
+
+fn detect_isa() -> Isa {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            return Isa::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Isa::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            return Isa::Ssse3;
+        }
+    }
+    Isa::Scalar
 }
 
 fn isa() -> Isa {
     static ISA: OnceLock<Isa> = OnceLock::new();
-    *ISA.get_or_init(|| {
-        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-        {
-            if std::arch::is_x86_feature_detected!("avx512bw") {
-                return Isa::Avx512;
-            }
-            if std::arch::is_x86_feature_detected!("avx2") {
-                return Isa::Avx2;
-            }
-            if std::arch::is_x86_feature_detected!("ssse3") {
-                return Isa::Ssse3;
-            }
-        }
-        Isa::Scalar
+    *ISA.get_or_init(|| match std::env::var(FORCE_TIER_ENV) {
+        Ok(name) => forced_isa(&name).unwrap_or_else(|reason| panic!("{reason}")),
+        Err(_) => detect_isa(),
     })
 }
 
@@ -134,6 +186,7 @@ pub fn active_kernel() -> &'static str {
         Isa::Avx2 => "avx2",
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Ssse3 => "ssse3",
+        Isa::Swar => "swar",
         Isa::Scalar => "scalar",
     }
 }
@@ -157,6 +210,7 @@ pub fn mul_acc_slice(coeff: u8, dst: &mut [u8], src: &[u8]) {
         Isa::Avx2 => unsafe { x86::mul_acc_avx2(coeff, dst, src) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Ssse3 => unsafe { x86::mul_acc_ssse3(coeff, dst, src) },
+        Isa::Swar => swar::mul_acc_slice(coeff, dst, src),
         Isa::Scalar => scalar::mul_acc_slice(coeff, dst, src),
     }
 }
@@ -171,6 +225,7 @@ pub fn mul_slice(coeff: u8, data: &mut [u8]) {
         Isa::Avx2 => unsafe { x86::mul_avx2(coeff, data) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         Isa::Ssse3 => unsafe { x86::mul_ssse3(coeff, data) },
+        Isa::Swar => swar::mul_slice(coeff, data),
         Isa::Scalar => scalar::mul_slice(coeff, data),
     }
 }
@@ -565,7 +620,69 @@ mod tests {
 
     #[test]
     fn dispatcher_reports_a_known_kernel() {
-        assert!(["avx512", "avx2", "ssse3", "scalar"].contains(&active_kernel()));
+        assert!(["avx512", "avx2", "ssse3", "swar", "scalar"].contains(&active_kernel()));
+    }
+
+    #[test]
+    fn force_tier_values_resolve_or_error() {
+        // The portable tiers are always accepted…
+        assert_eq!(forced_isa("scalar"), Ok(Isa::Scalar));
+        assert_eq!(forced_isa("swar"), Ok(Isa::Swar));
+        // …unknown names never are (including near-misses: the matrix must
+        // fail loudly on a typo, not silently run the default tier)…
+        for bogus in ["", "SWAR", "Scalar", "sse2", "gfni", "avx1024"] {
+            let err = forced_isa(bogus).expect_err(bogus);
+            assert!(err.contains("DF_GF_FORCE_TIER"), "unhelpful error: {err}");
+        }
+        // …and the SIMD tiers resolve iff this machine has them.
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        for (name, isa, supported) in [
+            (
+                "ssse3",
+                Isa::Ssse3,
+                std::arch::is_x86_feature_detected!("ssse3"),
+            ),
+            (
+                "avx2",
+                Isa::Avx2,
+                std::arch::is_x86_feature_detected!("avx2"),
+            ),
+            (
+                "avx512",
+                Isa::Avx512,
+                std::arch::is_x86_feature_detected!("avx512bw"),
+            ),
+        ] {
+            match forced_isa(name) {
+                Ok(got) => {
+                    assert!(supported, "{name} accepted on a CPU without it");
+                    assert_eq!(got, isa);
+                }
+                Err(err) => {
+                    assert!(!supported, "{name} rejected on a CPU with it: {err}");
+                    assert!(err.contains("support"), "unhelpful error: {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_tier_kernels_match_scalar() {
+        // When CI pins a tier via the env var, the whole dispatch test suite
+        // runs through it; this spot-check additionally exercises the
+        // *forced-isa* code path in-process for the portable tiers.
+        for name in ["scalar", "swar"] {
+            let isa = forced_isa(name).unwrap();
+            let src = payload(300, 7);
+            let mut expect = payload(300, 91);
+            let mut got = expect.clone();
+            scalar::mul_acc_slice(0xa7, &mut expect, &src);
+            match isa {
+                Isa::Swar => swar::mul_acc_slice(0xa7, &mut got, &src),
+                _ => scalar::mul_acc_slice(0xa7, &mut got, &src),
+            }
+            assert_eq!(got, expect, "forced tier {name}");
+        }
     }
 
     #[test]

@@ -130,8 +130,9 @@ impl NibbleTables16 {
 }
 
 /// Name of the kernel tier runtime dispatch selects for long GF(2^16) slices
-/// on this machine (`"avx512"`, `"avx2"`, `"ssse3"` or `"split-byte"`);
-/// surfaced in benchmark output so recorded numbers identify the code path.
+/// on this machine (`"avx512"`, `"avx2"`, `"ssse3"`, `"swar"` under the
+/// [`super::FORCE_TIER_ENV`] override, or `"split-byte"`); surfaced in
+/// benchmark output so recorded numbers identify the code path.
 pub fn active_kernel() -> &'static str {
     match super::isa() {
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
@@ -140,6 +141,7 @@ pub fn active_kernel() -> &'static str {
         super::Isa::Avx2 => "avx2",
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         super::Isa::Ssse3 => "ssse3",
+        super::Isa::Swar => "swar",
         super::Isa::Scalar => "split-byte",
     }
 }
@@ -173,6 +175,7 @@ pub fn mul_acc_slice(coeff: u16, dst: &mut [u8], src: &[u8]) {
         super::Isa::Avx2 => unsafe { x86::mul_acc_avx2(coeff, dst, src) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         super::Isa::Ssse3 => unsafe { x86::mul_acc_ssse3(coeff, dst, src) },
+        super::Isa::Swar => swar::mul_acc_slice(coeff, dst, src),
         super::Isa::Scalar => split_byte::mul_acc_slice(coeff, dst, src),
     }
 }
@@ -201,6 +204,7 @@ pub fn mul_slice(coeff: u16, data: &mut [u8]) {
         super::Isa::Avx2 => unsafe { x86::mul_avx2(coeff, data) },
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         super::Isa::Ssse3 => unsafe { x86::mul_ssse3(coeff, data) },
+        super::Isa::Swar => swar::mul_slice(coeff, data),
         super::Isa::Scalar => split_byte::mul_slice(coeff, data),
     }
 }
@@ -925,7 +929,7 @@ mod tests {
 
     #[test]
     fn dispatcher_reports_a_known_kernel() {
-        assert!(["avx512", "avx2", "ssse3", "split-byte"].contains(&active_kernel()));
+        assert!(["avx512", "avx2", "ssse3", "swar", "split-byte"].contains(&active_kernel()));
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //! deterministic in-memory [`SimMulticast`] in tests and over real UDP
 //! sockets ([`UdpMulticastTransport`]) in the `udp_fountain` and
 //! `layered_fountain` examples at the workspace root and the UDP integration
-//! tests, and why a future async driver needs no changes to this crate.
+//! tests.  The production driver is [`driver::EventLoop`]: a
+//! single-threaded readiness-driven loop ([`Transport::try_recv`] +
+//! [`Transport::readiness`] over a `poll(2)` wrapper) that multiplexes
+//! thousands of sessions — servers, clients, or both — with token-bucket
+//! pacing and per-session completion callbacks, added without changing a
+//! line of session code.
 //!
 //! ## Layered congestion control
 //!
@@ -56,6 +61,7 @@
 
 pub mod client;
 pub mod control;
+pub mod driver;
 mod layered;
 pub mod server;
 pub mod transport;
@@ -64,7 +70,8 @@ pub mod wire;
 
 pub use client::{ClientEvent, ClientSession, DownloadStats};
 pub use control::{ControlInfo, ControlRequest, ControlResponse};
+pub use driver::{EventLoop, EventLoopStats, Pacing, Token};
 pub use server::{FountainServer, ServerSession, SessionConfig};
-pub use transport::{SimEndpoint, SimMulticast, Transport};
+pub use transport::{Readiness, SimEndpoint, SimMulticast, Transport};
 pub use udp::{GroupAddressing, UdpMulticastTransport};
 pub use wire::{DataPacket, PacketHeader, HEADER_LEN};

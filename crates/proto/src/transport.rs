@@ -24,6 +24,29 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// How an I/O driver can learn that a transport has datagrams waiting,
+/// without spinning on [`Transport::try_recv`].
+///
+/// A readiness-driven driver (see [`crate::driver::EventLoop`]) collects
+/// every transport's readiness once, registers the socket-backed ones with a
+/// poller, and sleeps until the OS reports one readable — which is what lets
+/// a single thread pump thousands of sessions.  In-memory transports have no
+/// OS handle, so they report [`Readiness::Polled`] and the driver drains
+/// them on its tick cadence instead.
+///
+/// The set of sources can change over a transport's lifetime (joining a
+/// multicast group opens a socket, leaving closes it), so drivers re-collect
+/// readiness after executing any join/leave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Readiness {
+    /// No OS handle to wait on: the driver polls [`Transport::try_recv`] on
+    /// its own cadence.
+    Polled,
+    /// Wait for readability of these raw socket fds (Unix file descriptors;
+    /// plain `i32` so the sans-I/O crate stays portable).
+    Sockets(Vec<i32>),
+}
+
 /// A bidirectional best-effort multicast endpoint: datagrams are addressed to
 /// a group and delivered (or not) to every endpoint joined to it.
 pub trait Transport {
@@ -36,6 +59,22 @@ pub trait Transport {
     /// arrived on.  Non-blocking; drivers that want to block or sleep do so
     /// around this call.
     fn recv(&mut self) -> Option<(u32, Bytes)>;
+
+    /// The explicitly non-blocking receive path of the readiness-driven
+    /// driver: identical contract to [`Transport::recv`] (which this
+    /// workspace's transports already implement without blocking), spelled
+    /// separately so a future transport whose `recv` *may* block still has a
+    /// name for the path that never does.
+    fn try_recv(&mut self) -> Option<(u32, Bytes)> {
+        self.recv()
+    }
+
+    /// What a driver can wait on to learn this transport is readable.
+    /// Defaults to [`Readiness::Polled`]; socket-backed transports override
+    /// it with their fds.
+    fn readiness(&self) -> Readiness {
+        Readiness::Polled
+    }
 
     /// Join a multicast group (a cumulative layered receiver calls this once
     /// per layer it subscribes to).

@@ -19,6 +19,8 @@
 //! * [`layered`] — the Figure 7-style layered congestion-control experiment:
 //!   a heterogeneous bottleneck population running the real `df-proto`
 //!   client sessions (receiver-driven join/leave) over `SimMulticast`.
+//! * [`swarm`] — the driver-scale experiment: thousands of concurrent
+//!   client sessions pumped by one `df_proto::EventLoop` on one thread.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod interleaved;
 pub mod layered;
 pub mod loss;
 pub mod receiver;
+pub mod swarm;
 pub mod trace;
 
 pub use experiment::{
@@ -38,4 +41,5 @@ pub use interleaved::InterleavedCode;
 pub use layered::{layered_population_experiment, LayeredOutcome};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
 pub use receiver::{simulate_interleaved_receiver, simulate_tornado_receiver, ReceiverOutcome};
+pub use swarm::{swarm_experiment, SwarmOutcome};
 pub use trace::{ReceiverTrace, TraceSet};

@@ -1,0 +1,182 @@
+//! The driver-scale experiment: one [`df_proto::EventLoop`] on one thread
+//! pumping a server carousel and an arbitrarily large population of
+//! concurrent [`df_proto::ClientSession`]s over [`df_proto::SimMulticast`].
+//!
+//! The paper's server is a stateless carousel meant to feed *arbitrarily
+//! many* heterogeneous receivers at once (Sections 3 and 7); the sans-I/O
+//! session layer makes the per-receiver state a plain struct, so the only
+//! scaling question left is whether the I/O driver can multiplex them — the
+//! question this module answers with thousands of sessions in a single
+//! loop.  It is also the operating point behind the `driver_throughput` row
+//! of `repro bench-json` (aggregate client-side MB/s and completed
+//! sessions/s across 100+ concurrent downloads on one thread).
+
+use df_proto::{ClientSession, EventLoop, Pacing, ServerSession, SessionConfig, SimMulticast};
+use std::time::{Duration, Instant};
+
+/// Outcome of one [`swarm_experiment`] run.
+#[derive(Debug, Clone)]
+pub struct SwarmOutcome {
+    /// Concurrent client sessions driven through the loop.
+    pub clients: usize,
+    /// How many completed their download within the step budget.
+    pub completed: usize,
+    /// Event-loop steps (deterministic ticks) executed.
+    pub steps: usize,
+    /// Datagrams emitted by the server slot.
+    pub datagrams_sent: u64,
+    /// Datagrams drained from client transports.
+    pub datagrams_received: u64,
+    /// Source bytes of the file each client reconstructs.
+    pub file_len: usize,
+    /// Wall-clock spent inside the event loop.
+    pub elapsed: Duration,
+}
+
+impl SwarmOutcome {
+    /// Aggregate goodput: source bytes delivered (completed clients ×
+    /// file length) per wall-clock second, in MB/s.
+    pub fn aggregate_mbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.completed * self.file_len) as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+
+    /// Completed downloads per wall-clock second.
+    pub fn sessions_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Drive `clients` concurrent downloads of one `file_len`-byte file through
+/// a single [`EventLoop`] (server slot included — the whole system is one
+/// thread) and report completion counts and throughput.
+///
+/// Clients `i` with `i % 4 == 3` sit behind 20 % independent loss, the rest
+/// are clean — enough heterogeneity that the carousel must keep cycling for
+/// the tail while the bulk completes early, which is the scheduling pattern
+/// a real deployment produces.  The run is deterministic for a given
+/// (`seed`, population) pair: the loop is driven by [`EventLoop::step`],
+/// which is wall-clock-free.
+///
+/// # Panics
+///
+/// Panics if the file cannot be encoded (degenerate `file_len`/
+/// `packet_size`) — this is an experiment driver, not a validation surface.
+pub fn swarm_experiment(
+    file_len: usize,
+    packet_size: usize,
+    clients: usize,
+    seed: u64,
+    max_steps: usize,
+) -> SwarmOutcome {
+    let data: Vec<u8> = (0..file_len)
+        .map(|i| ((i * 131 + seed as usize) % 251) as u8)
+        .collect();
+    let server = ServerSession::new(
+        &data,
+        SessionConfig {
+            packet_size,
+            code_seed: seed,
+            ..SessionConfig::default()
+        },
+    )
+    .expect("swarm server session encodes");
+    let n = server.code().n();
+    let info = server.control_info().clone();
+
+    let net = SimMulticast::new(seed);
+    let mut el: EventLoop<df_proto::SimEndpoint> = EventLoop::new();
+    // A quarter round per step: several steps per carousel cycle, so the
+    // loop's scheduling (tick, drain, repeat) is actually exercised rather
+    // than every client completing inside a single monster tick.
+    el.add_server_session(
+        server,
+        net.endpoint(0.0),
+        Pacing::new(Duration::from_millis(1), n.div_ceil(4).max(1)),
+    );
+    let mut tokens = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let loss = if i % 4 == 3 { 0.2 } else { 0.0 };
+        let session = ClientSession::new(info.clone()).expect("server-produced control info");
+        tokens.push(
+            el.add_client(session, net.endpoint(loss))
+                .expect("sim joins cannot fail"),
+        );
+    }
+
+    let t0 = Instant::now();
+    let mut steps = 0;
+    while steps < max_steps && !el.all_clients_complete() {
+        el.step();
+        steps += 1;
+    }
+    let elapsed = t0.elapsed();
+
+    let completed = el.completed_clients();
+    for token in tokens {
+        let client = el.client(token).expect("tokens stay valid");
+        if client.is_complete() {
+            debug_assert_eq!(client.file().unwrap(), &data[..]);
+        }
+    }
+    let stats = el.stats();
+    SwarmOutcome {
+        clients,
+        completed,
+        steps,
+        datagrams_sent: stats.datagrams_sent,
+        datagrams_received: stats.datagrams_received,
+        file_len,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_thousand_concurrent_sessions_complete_on_one_event_loop() {
+        // The acceptance scenario: ≥1000 concurrent ClientSessions, one
+        // EventLoop, one thread, every download completing and verifying.
+        // Small per-client files keep the test fast; the point is session
+        // *count*, not bytes.
+        let outcome = swarm_experiment(10_000, 500, 1_000, 7, 400);
+        assert_eq!(outcome.clients, 1_000);
+        assert_eq!(
+            outcome.completed, 1_000,
+            "all 1000 sessions must complete: {outcome:?}"
+        );
+        assert!(
+            outcome.steps < 400,
+            "the loop must converge well inside the step budget"
+        );
+        // The lossy quarter of the population needs more rounds than the
+        // clean bulk, so the carousel necessarily outlives the first
+        // completions — receptions exceed one round per client.
+        assert!(outcome.datagrams_received as usize > outcome.clients);
+    }
+
+    #[test]
+    fn swarm_is_deterministic_per_seed() {
+        let a = swarm_experiment(8_000, 500, 60, 11, 400);
+        let b = swarm_experiment(8_000, 500, 60, 11, 400);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.datagrams_sent, b.datagrams_sent);
+        assert_eq!(a.datagrams_received, b.datagrams_received);
+    }
+
+    #[test]
+    fn lossy_clients_finish_later_but_finish() {
+        let outcome = swarm_experiment(20_000, 500, 16, 3, 800);
+        assert_eq!(outcome.completed, 16);
+        assert!(outcome.aggregate_mbps() > 0.0);
+        assert!(outcome.sessions_per_second() > 0.0);
+    }
+}

@@ -4,36 +4,34 @@
 //! synchronisation point every other round and a double-rate burst before
 //! each SP.  Receivers subscribe to the base layer only and then *find
 //! their own rate* — the session emits `ClientEvent::Join`/`Leave` intents
-//! and the driver loop executes them on the transport, joining a higher
-//! group after every clean burst and shedding the top layer on sustained
-//! loss.  No receiver ever sends a packet towards the source.
+//! and the [`EventLoop`] executes them on the slot's transport, joining a
+//! higher group after every clean burst and shedding the top layer on
+//! sustained loss.  No receiver ever sends a packet towards the source.
 //!
 //! Run with: `cargo run --release --example layered_fountain`
 //!
-//! Two receivers use the carousel in turn (a fountain client joins the
-//! perpetual stream whenever it likes; sequential receivers also keep the
-//! group ports free for one another in loopback mode): an unthrottled one
-//! that climbs as far as the download length allows, and one behind a
-//! deliberately lossy path (every fourth datagram dropped in the driver)
-//! whose bursts are never clean — it stays pinned near the base layer,
-//! finishing later, exactly the heterogeneity the layered scheme exists to
-//! serve.
+//! Server and receiver share **one readiness-driven event loop on one
+//! thread**.  Two receivers use the carousel in turn (a fountain client
+//! joins the perpetual stream whenever it likes; sequential receivers also
+//! keep the group ports free for one another in loopback mode): an
+//! unthrottled one that climbs as far as the download length allows, and
+//! one behind a deliberately lossy access link — modelled as a transport
+//! wrapper that eats every fourth received datagram, exactly where a real
+//! bottleneck queue would sit — whose bursts are never clean, so it stays
+//! pinned near the base layer and finishes later.  That heterogeneity is
+//! what the layered scheme exists to serve.
 //!
 //! Addressing: real IPv4 multicast when the host can loop it back,
 //! loopback unicast otherwise (same sessions, same datagrams either way).
 
 use digital_fountain::proto::{
-    ClientEvent, ClientSession, ControlRequest, ControlResponse, FountainServer, GroupAddressing,
-    SessionConfig, Transport, UdpMulticastTransport,
+    ClientSession, EventLoop, FountainServer, GroupAddressing, Pacing, Readiness, SessionConfig,
+    Transport, UdpMulticastTransport,
 };
-use std::net::{Ipv4Addr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const MCAST_ADDR: Ipv4Addr = Ipv4Addr::new(239, 255, 71, 92);
+const MCAST_ADDR: std::net::Ipv4Addr = std::net::Ipv4Addr::new(239, 255, 71, 92);
 const DATA_PORT: u16 = 47101;
-const CONTROL_PORT: u16 = 47100;
 /// A probe-only group well above the session's group range.
 const PROBE_GROUP: u32 = 900;
 
@@ -43,12 +41,8 @@ fn choose_addressing() -> GroupAddressing {
     if let Ok(mut probe) = UdpMulticastTransport::multicast(MCAST_ADDR, DATA_PORT) {
         if probe.join(PROBE_GROUP).is_ok() {
             probe.send(PROBE_GROUP, bytes::Bytes::from_static(b"probe"));
-            let deadline = Instant::now() + Duration::from_millis(300);
-            while Instant::now() < deadline {
-                if probe.recv().is_some() {
-                    return probe.addressing();
-                }
-                std::thread::sleep(Duration::from_millis(5));
+            if probe.recv_timeout(Duration::from_millis(300)).is_some() {
+                return probe.addressing();
             }
         }
     }
@@ -62,92 +56,85 @@ fn patterned_file(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 131 % 251) as u8).collect()
 }
 
-/// One receiver: fetch the session over the control channel, join the base
-/// layer, then obey the session's join/leave intents until the file is
-/// whole.  `drop_every` simulates a congested path by discarding every
-/// n-th datagram in the driver (0 = clean path).
+/// A congested access link as a transport decorator: every `drop_every`-th
+/// *received* datagram is discarded before the session sees it (0 = clean
+/// path).  Sends, joins and readiness pass straight through — the loss sits
+/// exactly where a bottleneck queue would.
+struct ThrottledLink {
+    inner: UdpMulticastTransport,
+    drop_every: u64,
+    seen: u64,
+}
+
+impl ThrottledLink {
+    fn new(inner: UdpMulticastTransport, drop_every: u64) -> ThrottledLink {
+        ThrottledLink {
+            inner,
+            drop_every,
+            seen: 0,
+        }
+    }
+}
+
+impl Transport for ThrottledLink {
+    fn send(&mut self, group: u32, datagram: bytes::Bytes) {
+        self.inner.send(group, datagram);
+    }
+    fn recv(&mut self) -> Option<(u32, bytes::Bytes)> {
+        loop {
+            let got = self.inner.recv()?;
+            self.seen += 1;
+            if self.drop_every != 0 && self.seen.is_multiple_of(self.drop_every) {
+                continue; // the congested path eats this one
+            }
+            return Some(got);
+        }
+    }
+    fn join(&mut self, group: u32) -> std::io::Result<()> {
+        self.inner.join(group)
+    }
+    fn leave(&mut self, group: u32) {
+        self.inner.leave(group);
+    }
+    fn readiness(&self) -> Readiness {
+        self.inner.readiness()
+    }
+}
+
+/// Run one receiver through the shared event loop until its download
+/// completes, reporting its subscription journey.
 fn run_receiver(
+    el: &mut EventLoop<ThrottledLink>,
     name: &'static str,
     addressing: GroupAddressing,
     drop_every: u64,
-    expected: Vec<u8>,
+    info: digital_fountain::proto::ControlInfo,
+    expected: &[u8],
 ) {
-    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind control client");
-    control
-        .set_read_timeout(Some(Duration::from_millis(500)))
-        .unwrap();
-    let mut buf = [0u8; 2048];
-    let mut client: Option<ClientSession> = None;
-    for _ in 0..20 {
-        control
-            .send_to(
-                &ControlRequest::Describe { session_id: 0 }.to_bytes(),
-                (Ipv4Addr::LOCALHOST, CONTROL_PORT),
-            )
-            .expect("send control request");
-        if let Ok((len, _)) = control.recv_from(&mut buf) {
-            if let Some(ControlResponse::Session { info }) =
-                ControlResponse::from_bytes(&buf[..len])
-            {
-                client = Some(ClientSession::new(info).expect("valid control info"));
-                break;
-            }
-        }
-    }
-    let mut client = client.expect("control channel answered");
+    let client = ClientSession::new(info).expect("valid control info");
     println!(
         "[{name}] session: {} packets over {} layers, SP every {} rounds",
         client.control_info().n,
         client.control_info().layers,
         client.control_info().sp_interval
     );
-
-    let mut transport = UdpMulticastTransport::new(addressing).expect("client transport");
-    for group in client.subscribed_groups() {
-        transport.join(group).expect("join base layer");
-    }
-
-    let t0 = Instant::now();
-    let mut seen = 0u64;
-    let mut journey: Vec<String> = vec!["L0".into()];
-    while !client.is_complete() {
-        assert!(
-            t0.elapsed() < Duration::from_secs(120),
-            "[{name}] download stalled at {:?}",
-            client.stats()
-        );
-        let Some((_group, datagram)) = transport.recv() else {
-            std::thread::sleep(Duration::from_micros(200));
-            continue;
-        };
-        seen += 1;
-        if drop_every != 0 && seen.is_multiple_of(drop_every) {
-            continue; // the congested path eats this one
-        }
-        match client.handle_datagram(datagram) {
-            ClientEvent::Join { group } => {
-                transport.join(group).expect("join next layer");
-                journey.push(format!("+L{}", client.subscription_level().unwrap()));
-            }
-            ClientEvent::Leave { group } => {
-                transport.leave(group);
-                journey.push(format!("-to L{}", client.subscription_level().unwrap()));
-            }
-            _ => {}
-        }
-    }
-    assert_eq!(
-        client.file().unwrap(),
-        &expected[..],
-        "[{name}] corrupt file"
+    let link = ThrottledLink::new(
+        UdpMulticastTransport::new(addressing).expect("client transport"),
+        drop_every,
     );
+    let t0 = Instant::now();
+    let token = el.add_client(client, link).expect("join base layer");
+    let done = el
+        .run(Duration::from_secs(120))
+        .expect("event loop runs to completion");
+    let (client, _link) = el.take_client(token).expect("token valid");
+    assert!(done, "[{name}] download stalled at {:?}", client.stats());
+    assert_eq!(client.file().unwrap(), expected, "[{name}] corrupt file");
     let stats = client.stats();
     println!(
-        "[{name}] complete in {:.2?}: level {}, subscription journey {}, \
-         {} received / {} distinct (eta {:.3})",
+        "[{name}] complete in {:.2?}: level {}, {} received / {} distinct (eta {:.3})",
         t0.elapsed(),
         client.subscription_level().unwrap(),
-        journey.join(" "),
         stats.received(),
         stats.distinct(),
         stats.reception_efficiency()
@@ -159,7 +146,7 @@ fn main() {
     let file = patterned_file(80_000);
 
     let mut server = FountainServer::new();
-    server
+    let id = server
         .add_session(
             &file,
             SessionConfig {
@@ -171,40 +158,32 @@ fn main() {
             },
         )
         .expect("layered session encodes");
+    let info = server.session(id).unwrap().control_info().clone();
     println!(
         "server: 1 layered session, groups 0..6, bandwidths 1,1,2,4,8,16 (SP/burst congestion control)"
     );
 
-    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, CONTROL_PORT)).expect("bind control");
-    control.set_nonblocking(true).expect("nonblocking control");
-    let mut server_transport = UdpMulticastTransport::new(addressing).expect("server transport");
-    let stop = Arc::new(AtomicBool::new(false));
-    let server_thread = {
-        let stop = stop.clone();
-        std::thread::spawn(move || {
-            let mut buf = [0u8; 2048];
-            let mut sent = 0u32;
-            while !stop.load(Ordering::Relaxed) {
-                while let Ok((len, from)) = control.recv_from(&mut buf) {
-                    let reply = server.handle_control_datagram(&buf[..len]);
-                    let _ = control.send_to(&reply, from);
-                }
-                if let Some((group, datagram)) = server.poll_transmit() {
-                    server_transport.send(group, datagram);
-                }
-                sent += 1;
-                if sent.is_multiple_of(64) {
-                    // Pace the carousel so loopback receivers keep up.
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-            }
-        })
-    };
+    // One event loop owns the carousel and, in turn, each receiver — the
+    // server keeps transmitting between receivers, as a real carousel does.
+    let mut el: EventLoop<ThrottledLink> = EventLoop::new();
+    el.add_fountain_server(
+        server,
+        ThrottledLink::new(
+            UdpMulticastTransport::new(addressing).expect("server transport"),
+            0,
+        ),
+        None,
+        Pacing::new(Duration::from_millis(1), 64),
+    )
+    .expect("register server slot");
 
-    run_receiver("wideband", addressing, 0, patterned_file(80_000));
-    run_receiver("congested", addressing, 4, patterned_file(80_000));
+    run_receiver(&mut el, "wideband", addressing, 0, info.clone(), &file);
+    run_receiver(&mut el, "congested", addressing, 4, info, &file);
 
-    stop.store(true, Ordering::Relaxed);
-    server_thread.join().expect("server thread");
-    println!("both receivers rebuilt the file; neither sent a packet upstream");
+    let stats = el.stats();
+    println!(
+        "both receivers rebuilt the file; neither sent a packet upstream \
+         ({} datagrams caroused on one thread)",
+        stats.datagrams_sent
+    );
 }

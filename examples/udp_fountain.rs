@@ -1,11 +1,17 @@
-//! The paper's deployed system over real UDP sockets: a [`FountainServer`]
-//! carousels two files to disjoint multicast group sets while answering a
-//! unicast UDP control channel; two clients discover their sessions over
-//! that channel, subscribe, and download concurrently — through exactly the
-//! same sans-I/O `ServerSession`/`ClientSession` state machines the
-//! simulation tests use.
+//! The paper's deployed system over real UDP sockets, on **one thread**: a
+//! single [`EventLoop`] owns the [`FountainServer`] (two files caroused to
+//! disjoint multicast group sets, binary control channel included) *and*
+//! both downloading clients — five session state machines and every socket
+//! in one `poll(2)` set, no helper threads.
 //!
 //! Run with: `cargo run --release --example udp_fountain`
+//!
+//! The clients discover their sessions over the real unicast UDP control
+//! channel like any non-Rust client would; the request/response exchange is
+//! pumped through the same event loop that paces the carousel, which is the
+//! deployment shape of Section 7.1 — a stateless server feeding arbitrarily
+//! many heterogeneous receivers, its I/O multiplexed by readiness rather
+//! than by thread-per-receiver.
 //!
 //! Addressing: real IPv4 multicast (`239.255.71.90`, ports 47001+) when the
 //! host's network namespace can loop multicast back, otherwise loopback
@@ -13,12 +19,10 @@
 //! sessions are identical — only the group→address mapping changes.
 
 use digital_fountain::proto::{
-    ClientEvent, ClientSession, ControlRequest, ControlResponse, FountainServer, GroupAddressing,
-    SessionConfig, Transport, UdpMulticastTransport,
+    ClientSession, ControlRequest, ControlResponse, EventLoop, FountainServer, GroupAddressing,
+    Pacing, SessionConfig, Transport, UdpMulticastTransport,
 };
 use std::net::{Ipv4Addr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const MCAST_ADDR: Ipv4Addr = Ipv4Addr::new(239, 255, 71, 90);
@@ -35,12 +39,8 @@ fn choose_addressing() -> GroupAddressing {
     if let Ok(mut probe) = UdpMulticastTransport::multicast(MCAST_ADDR, DATA_PORT) {
         if probe.join(PROBE_GROUP).is_ok() {
             probe.send(PROBE_GROUP, bytes::Bytes::from_static(b"probe"));
-            let deadline = Instant::now() + Duration::from_millis(300);
-            while Instant::now() < deadline {
-                if probe.recv().is_some() {
-                    return probe.addressing();
-                }
-                std::thread::sleep(Duration::from_millis(5));
+            if probe.recv_timeout(Duration::from_millis(300)).is_some() {
+                return probe.addressing();
             }
         }
     }
@@ -54,78 +54,37 @@ fn patterned_file(len: usize, salt: usize) -> Vec<u8> {
     (0..len).map(|i| ((i * 131 + salt) % 251) as u8).collect()
 }
 
-fn run_client(name: &str, session_id: u32, addressing: GroupAddressing, expected: Vec<u8>) {
-    // Discover the session over the unicast UDP control channel.
-    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind control client");
-    control
-        .set_read_timeout(Some(Duration::from_millis(300)))
-        .unwrap();
+/// Fetch one session's parameters over the wire-level control channel,
+/// pumping `el` between retries so the (in-loop) server can answer — the
+/// single-threaded version of "ask a running server".
+fn discover(
+    el: &mut EventLoop<UdpMulticastTransport>,
+    session_id: u32,
+) -> digital_fountain::proto::ControlInfo {
+    let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind control client");
+    socket.set_nonblocking(true).expect("nonblocking control");
     let mut buf = [0u8; 2048];
-    let info = 'discover: {
-        for _ in 0..30 {
-            control
-                .send_to(
-                    &ControlRequest::Describe { session_id }.to_bytes(),
-                    (Ipv4Addr::LOCALHOST, CONTROL_PORT),
-                )
-                .expect("send control request");
-            if let Ok((len, _)) = control.recv_from(&mut buf) {
+    for _ in 0..100 {
+        socket
+            .send_to(
+                &ControlRequest::Describe { session_id }.to_bytes(),
+                (Ipv4Addr::LOCALHOST, CONTROL_PORT),
+            )
+            .expect("send control request");
+        // Let the loop notice the request (control socket readiness) and
+        // answer it, then look for the reply.
+        for _ in 0..10 {
+            el.poll_io(Duration::from_millis(5)).expect("poll");
+            if let Ok((len, _)) = socket.recv_from(&mut buf) {
                 if let Some(ControlResponse::Session { info }) =
                     ControlResponse::from_bytes(&buf[..len])
                 {
-                    break 'discover info;
+                    return info;
                 }
             }
         }
-        panic!("{name}: control channel never answered");
-    };
-    println!(
-        "{name}: session {session_id}: {} bytes, k = {}, {} layer(s) on groups {:?}",
-        info.file_len,
-        info.k,
-        info.layers,
-        info.groups().collect::<Vec<_>>()
-    );
-
-    // Subscribe and download.
-    let mut client = ClientSession::new(info).expect("valid control info");
-    let mut transport = UdpMulticastTransport::new(addressing).expect("client transport");
-    for group in client.groups().collect::<Vec<_>>() {
-        transport.join(group).expect("join data group");
     }
-    let t0 = Instant::now();
-    while !client.is_complete() {
-        assert!(
-            t0.elapsed() < Duration::from_secs(120),
-            "{name}: download timed out: {:?}",
-            client.stats()
-        );
-        match transport.recv() {
-            Some((_group, datagram)) => {
-                if client.handle_datagram(datagram) == ClientEvent::Complete {
-                    break;
-                }
-            }
-            None => std::thread::sleep(Duration::from_micros(200)),
-        }
-    }
-    assert_eq!(
-        client.file().unwrap(),
-        &expected[..],
-        "{name}: corrupt file"
-    );
-    let s = client.stats();
-    println!(
-        "{name}: done in {:.2?} — {} packets received, {} distinct, \
-         {} decode attempt(s), efficiency η = {:.3} (η_c {:.3} · η_d {:.3})",
-        t0.elapsed(),
-        s.received(),
-        s.distinct(),
-        s.decode_attempts(),
-        s.reception_efficiency(),
-        s.coding_efficiency(),
-        s.distinctness_efficiency(),
-    );
+    panic!("control channel never answered for session {session_id}");
 }
 
 fn main() {
@@ -166,45 +125,74 @@ fn main() {
             .unwrap()
     );
 
-    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, CONTROL_PORT)).expect("bind control port");
-    control.set_nonblocking(true).unwrap();
     let addressing = choose_addressing();
-    let mut transport = UdpMulticastTransport::new(addressing).expect("server transport");
+    let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, CONTROL_PORT)).expect("bind control port");
 
-    // The I/O driver loop the sans-I/O design asks for: answer control
-    // requests, pump the interleaved carousel, pace the bursts.
-    let stop = Arc::new(AtomicBool::new(false));
-    let server_thread = {
-        let stop = stop.clone();
-        std::thread::spawn(move || {
-            let mut buf = [0u8; 2048];
-            let mut burst = 0u32;
-            while !stop.load(Ordering::Relaxed) {
-                while let Ok((len, from)) = control.recv_from(&mut buf) {
-                    let reply = server.handle_control_datagram(&buf[..len]);
-                    let _ = control.send_to(&reply, from);
-                }
-                if let Some((group, datagram)) = server.poll_transmit() {
-                    transport.send(group, datagram);
-                }
-                burst += 1;
-                if burst.is_multiple_of(64) {
-                    std::thread::sleep(Duration::from_micros(500));
-                }
-            }
-            let sent: u32 = server.sessions().iter().map(|s| s.packets_sent()).sum();
-            println!("server: stopped after {sent} data packets");
-        })
-    };
+    // The whole deployment in one readiness-driven loop: the server slot
+    // paces the interleaved carousel and answers control traffic; client
+    // slots drain their own sockets as the kernel reports them readable.
+    let mut el: EventLoop<UdpMulticastTransport> = EventLoop::new();
+    el.add_fountain_server(
+        server,
+        UdpMulticastTransport::new(addressing).expect("server transport"),
+        Some(control),
+        Pacing::new(Duration::from_millis(1), 64),
+    )
+    .expect("register server slot");
 
-    let clients = vec![
-        std::thread::spawn(move || run_client("client-A", id_a, addressing, file_a)),
-        std::thread::spawn(move || run_client("client-B", id_b, addressing, file_b)),
-    ];
-    for c in clients {
-        c.join().expect("client thread");
+    let t0 = Instant::now();
+    let mut tokens = Vec::new();
+    for (name, id, expected) in [("client-A", id_a, &file_a), ("client-B", id_b, &file_b)] {
+        let info = discover(&mut el, id);
+        println!(
+            "{name}: session {id}: {} bytes, k = {}, {} layer(s) on groups {:?}",
+            info.file_len,
+            info.k,
+            info.layers,
+            info.groups().collect::<Vec<_>>()
+        );
+        let client = ClientSession::new(info).expect("valid control info");
+        let transport = UdpMulticastTransport::new(addressing).expect("client transport");
+        let token = el
+            .add_client_with(
+                client,
+                transport,
+                Some(Box::new(move |_token, session| {
+                    let s = session.stats();
+                    println!(
+                        "{name}: done in {:.2?} — {} packets received, {} distinct, \
+                         {} decode attempt(s), efficiency η = {:.3} (η_c {:.3} · η_d {:.3})",
+                        t0.elapsed(),
+                        s.received(),
+                        s.distinct(),
+                        s.decode_attempts(),
+                        s.reception_efficiency(),
+                        s.coding_efficiency(),
+                        s.distinctness_efficiency(),
+                    );
+                })),
+            )
+            .expect("join data groups");
+        tokens.push((name, token, expected));
     }
-    stop.store(true, Ordering::Relaxed);
-    server_thread.join().expect("server thread");
-    println!("both downloads verified byte-for-byte");
+
+    let all_done = el
+        .run(Duration::from_secs(120))
+        .expect("event loop runs to completion");
+    assert!(all_done, "downloads timed out: {:?}", el.stats());
+
+    for (name, token, expected) in tokens {
+        let (client, _transport) = el.take_client(token).expect("token valid");
+        assert_eq!(
+            client.file().unwrap(),
+            &expected[..],
+            "{name}: corrupt file"
+        );
+    }
+    let stats = el.stats();
+    println!(
+        "both downloads verified byte-for-byte on one thread \
+         ({} datagrams sent, {} received, {} control answered)",
+        stats.datagrams_sent, stats.datagrams_received, stats.control_answered
+    );
 }

@@ -1,0 +1,515 @@
+//! Offline shim of the `polling` crate (see `shims/README.md`): a minimal
+//! portable readiness API over the POSIX `poll(2)` system call.
+//!
+//! The real crate multiplexes over epoll/kqueue/IOCP; this shim keeps the
+//! same shape — register sources with keys, wait for [`Event`]s — but backs
+//! it with plain `poll(2)`, which needs no persistent kernel object and is
+//! available on every Unix.  That is plenty for the event-loop driver in
+//! `df-proto`, whose fd sets are rebuilt wholesale when multicast
+//! memberships change anyway (a `poll(2)` call is stateless, so
+//! re-registration is free).
+//!
+//! Differences from upstream: readable interest only (`Event::writable` is
+//! accepted but ignored by `wait`), no edge-triggered or oneshot modes, and
+//! registration takes raw fds (the [`Source`] trait is implemented for
+//! `RawFd` and for any `AsRawFd` reference, as in upstream's Unix build).
+//! On non-Unix platforms [`Poller::new`] returns
+//! [`std::io::ErrorKind::Unsupported`].
+//!
+//! The `poll(2)` binding is declared locally (`extern "C"`): this workspace
+//! has no `libc` crate, and `poll` is part of every Unix libc the Rust
+//! standard library already links against.
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// Raw file-descriptor type used for registration.  Aliased to `i32` on
+/// non-Unix targets so the API still type-checks (construction fails there).
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// Interest in (and report of) readiness events for one registered source,
+/// identified by the caller-chosen `key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier carried back by [`Poller::wait`].
+    pub key: usize,
+    /// Readable interest / readiness.
+    pub readable: bool,
+    /// Writable interest (accepted for API compatibility; this shim's
+    /// `wait` only reports readability).
+    pub writable: bool,
+}
+
+impl Event {
+    /// Readable-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the source registered without polling it).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Something that can be registered with a [`Poller`]: a raw fd, or a
+/// reference to anything exposing one.
+pub trait Source {
+    /// The raw file descriptor to poll.
+    fn raw(&self) -> RawFd;
+}
+
+#[cfg(unix)]
+impl Source for RawFd {
+    fn raw(&self) -> RawFd {
+        *self
+    }
+}
+
+#[cfg(unix)]
+impl<T: AsRawFd> Source for &T {
+    fn raw(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! The `poll(2)` FFI surface.  `nfds_t` is `c_ulong` on every platform
+    //! the workspace targets (Linux and the BSDs' ABI-compatible layouts).
+    #![allow(unsafe_code)]
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+
+    /// Safe wrapper: polls the given fd set, returning the number of entries
+    /// with nonzero `revents`.  A `timeout` of `None` blocks indefinitely.
+    pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: std::ffi::c_int = match timeout {
+            // Round *up* so a 100 µs timeout does not busy-spin at 0 ms.
+            Some(t) => t
+                .as_millis()
+                .max(u128::from(!t.is_zero()))
+                .try_into()
+                .unwrap_or(std::ffi::c_int::MAX),
+            None => -1,
+        };
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // `#[repr(C)]` pollfd-layout structs; `len()` bounds `nfds`.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry.  (Upstream `polling` returns early here; nothing
+            // in this workspace installs signal handlers, so retrying keeps
+            // callers simpler.)
+        }
+    }
+}
+
+/// A registry of readable-interest sources that can be waited on together.
+///
+/// ```
+/// use polling::{Event, Poller};
+/// use std::net::UdpSocket;
+/// use std::time::Duration;
+///
+/// let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+/// let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+/// let poller = Poller::new().unwrap();
+/// poller.add(&rx, Event::readable(7)).unwrap();
+///
+/// let mut events = Vec::new();
+/// // Nothing sent yet: the wait times out empty.
+/// poller
+///     .wait(&mut events, Some(Duration::from_millis(1)))
+///     .unwrap();
+/// assert!(events.is_empty());
+///
+/// tx.send_to(b"ping", rx.local_addr().unwrap()).unwrap();
+/// poller
+///     .wait(&mut events, Some(Duration::from_secs(5)))
+///     .unwrap();
+/// assert_eq!(events[0].key, 7);
+/// ```
+#[derive(Debug)]
+pub struct Poller {
+    sources: std::sync::Mutex<Vec<(RawFd, Event)>>,
+}
+
+impl Poller {
+    /// Create an empty poller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::Unsupported`] on non-Unix platforms.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(unix)]
+        {
+            Ok(Poller {
+                sources: std::sync::Mutex::new(Vec::new()),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "polling shim: poll(2) is only wrapped on Unix",
+            ))
+        }
+    }
+
+    /// Register a source with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::AlreadyExists`] if the fd is already
+    /// registered (use [`Poller::modify`] to change interest).
+    pub fn add(&self, source: impl Source, interest: Event) -> io::Result<()> {
+        let fd = source.raw();
+        let mut sources = self.sources.lock().expect("poller lock");
+        if sources.iter().any(|(f, _)| *f == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} is already registered"),
+            ));
+        }
+        sources.push((fd, interest));
+        Ok(())
+    }
+
+    /// Change a registered source's interest (and key).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] if the fd is not registered.
+    pub fn modify(&self, source: impl Source, interest: Event) -> io::Result<()> {
+        let fd = source.raw();
+        let mut sources = self.sources.lock().expect("poller lock");
+        match sources.iter_mut().find(|(f, _)| *f == fd) {
+            Some((_, ev)) => {
+                *ev = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            )),
+        }
+    }
+
+    /// Deregister a source.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::NotFound`] if the fd is not registered.
+    pub fn delete(&self, source: impl Source) -> io::Result<()> {
+        let fd = source.raw();
+        let mut sources = self.sources.lock().expect("poller lock");
+        match sources.iter().position(|(f, _)| *f == fd) {
+            Some(at) => {
+                sources.remove(at);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            )),
+        }
+    }
+
+    /// Drop every registration at once (cheaper than per-fd `delete` when a
+    /// driver rebuilds its whole fd set after membership changes).
+    pub fn clear(&self) {
+        self.sources.lock().expect("poller lock").clear();
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.lock().expect("poller lock").len()
+    }
+
+    /// True when no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until at least one source with readable interest is readable,
+    /// or `timeout` elapses (`None` = wait forever).  Readiness events are
+    /// appended to `events` (which is cleared first, as in upstream `wait`
+    /// with a fresh `Events`); returns how many fired.
+    ///
+    /// Error conditions on a source (`POLLERR`/`POLLHUP`/`POLLNVAL`) are
+    /// reported as readable so the owner's next read surfaces the error
+    /// instead of the loop spinning on an invisible condition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures (other than `EINTR`, which is retried).
+    #[cfg(unix)]
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.wait_unix(events, timeout)
+    }
+
+    /// Non-Unix stub: a [`Poller`] cannot be constructed here ([`Poller::new`]
+    /// fails), so this is unreachable; it exists to keep callers compiling.
+    #[cfg(not(unix))]
+    pub fn wait(&self, events: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling shim: poll(2) is only wrapped on Unix",
+        ))
+    }
+
+    #[cfg(unix)]
+    fn wait_unix(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        let keys: Vec<usize> = {
+            let sources = self.sources.lock().expect("poller lock");
+            sources
+                .iter()
+                .filter(|(_, ev)| ev.readable)
+                .map(|(fd, ev)| {
+                    fds.push(sys::PollFd {
+                        fd: *fd,
+                        events: sys::POLLIN,
+                        revents: 0,
+                    });
+                    ev.key
+                })
+                .collect()
+        };
+        if fds.is_empty() {
+            // Nothing to poll: honour the timeout as a plain sleep so callers
+            // can use `wait` as their loop's pacing primitive regardless.
+            if let Some(t) = timeout {
+                std::thread::sleep(t);
+                return Ok(0);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "waiting forever on an empty poller would never return",
+            ));
+        }
+        let fired = sys::poll_fds(&mut fds, timeout)?;
+        for (pfd, key) in fds.iter().zip(keys) {
+            if pfd.revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0 {
+                events.push(Event::readable(key));
+            }
+        }
+        Ok(fired)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::time::Instant;
+
+    fn socket_pair() -> (UdpSocket, UdpSocket) {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        (rx, tx)
+    }
+
+    #[test]
+    fn readable_socket_fires_its_key() {
+        let (rx, tx) = socket_pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::readable(42)).unwrap();
+        tx.send_to(b"x", rx.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events, vec![Event::readable(42)]);
+    }
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let (rx, _tx) = socket_pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::readable(0)).unwrap();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(25),
+            "returned after only {waited:?}"
+        );
+    }
+
+    #[test]
+    fn only_the_ready_source_is_reported() {
+        let (rx_a, tx) = socket_pair();
+        let rx_b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx_a, Event::readable(1)).unwrap();
+        poller.add(&rx_b, Event::readable(2)).unwrap();
+        tx.send_to(b"only a", rx_a.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events, vec![Event::readable(1)]);
+    }
+
+    #[test]
+    fn multiple_ready_sources_all_fire() {
+        let (rx_a, tx) = socket_pair();
+        let rx_b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx_a, Event::readable(1)).unwrap();
+        poller.add(&rx_b, Event::readable(2)).unwrap();
+        tx.send_to(b"a", rx_a.local_addr().unwrap()).unwrap();
+        tx.send_to(b"b", rx_b.local_addr().unwrap()).unwrap();
+        // Give the loopback deliveries a moment to both land.
+        std::thread::sleep(Duration::from_millis(10));
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut keys: Vec<usize> = events.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn none_interest_is_not_polled() {
+        let (rx, tx) = socket_pair();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx, Event::none(9)).unwrap();
+        tx.send_to(b"x", rx.local_addr().unwrap()).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        // Flip interest on: the datagram is still queued and fires now.
+        poller.modify(&rx, Event::readable(9)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events, vec![Event::readable(9)]);
+    }
+
+    #[test]
+    fn registration_bookkeeping() {
+        let (rx, _tx) = socket_pair();
+        let poller = Poller::new().unwrap();
+        assert!(poller.is_empty());
+        poller.add(&rx, Event::readable(0)).unwrap();
+        assert_eq!(poller.len(), 1);
+        assert_eq!(
+            poller.add(&rx, Event::readable(1)).unwrap_err().kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        poller.delete(&rx).unwrap();
+        assert!(poller.is_empty());
+        assert_eq!(
+            poller.delete(&rx).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(
+            poller.modify(&rx, Event::readable(0)).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    #[test]
+    fn empty_poller_with_timeout_sleeps() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // Waiting forever on nothing is refused rather than deadlocking.
+        assert_eq!(
+            poller.wait(&mut events, None).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn clear_drops_all_registrations() {
+        let (rx_a, _tx) = socket_pair();
+        let rx_b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&rx_a, Event::readable(1)).unwrap();
+        poller.add(&rx_b, Event::readable(2)).unwrap();
+        poller.clear();
+        assert!(poller.is_empty());
+    }
+
+    #[test]
+    fn raw_fd_registration_works() {
+        use std::os::unix::io::AsRawFd;
+        let (rx, tx) = socket_pair();
+        let poller = Poller::new().unwrap();
+        let fd: RawFd = rx.as_raw_fd();
+        poller.add(fd, Event::readable(3)).unwrap();
+        tx.send_to(b"x", rx.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events, vec![Event::readable(3)]);
+    }
+}

@@ -5,14 +5,15 @@
 
 use digital_fountain::core::{reassemble_file, PacketizedFile, TornadoCode, TORNADO_B};
 use digital_fountain::proto::{
-    ClientEvent, ClientSession, FountainServer, ServerSession, SessionConfig, SimMulticast,
-    Transport,
+    ClientEvent, ClientSession, EventLoop, FountainServer, Pacing, ServerSession, SessionConfig,
+    SimMulticast, Transport,
 };
 use digital_fountain::sim::{
     simulate_interleaved_receiver, simulate_tornado_receiver, BernoulliLoss, InterleavedCode,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 fn random_file(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -187,6 +188,91 @@ fn heterogeneous_bottlenecks_find_distinct_layers_and_all_complete() {
     // Property keeps its stream duplicate-free; the adapting receivers pay
     // burst duplicates for their probes.
     assert!(rows[0].distinctness_efficiency() > 0.99);
+}
+
+#[test]
+fn event_loop_multiplexes_flat_and_layered_sessions_concurrently() {
+    // The readiness-driven driver as the system's front door: one EventLoop
+    // hosts a two-session FountainServer (one flat carousel, one layered
+    // SP/burst session) and five clients — flat clients behind different
+    // loss rates plus a layered client that climbs by Join intents the loop
+    // executes — all advancing deterministically via `step` on one thread.
+    let file_flat = random_file(120_000, 21);
+    let file_layered = random_file(200_000, 22);
+    let mut server = FountainServer::new();
+    let id_flat = server
+        .add_session(
+            &file_flat,
+            SessionConfig {
+                layers: 2,
+                code_seed: 5,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+    let id_layered = server
+        .add_session(
+            &file_layered,
+            SessionConfig {
+                layers: 6,
+                code_seed: 6,
+                sp_interval: 2,
+                burst_rounds: 1,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+    let info_flat = server.session(id_flat).unwrap().control_info().clone();
+    let info_layered = server.session(id_layered).unwrap().control_info().clone();
+    assert!(info_layered.sp_interval > 0);
+
+    let net = SimMulticast::new(31);
+    let mut el: EventLoop<digital_fountain::proto::SimEndpoint> = EventLoop::new();
+    el.add_fountain_server(
+        server,
+        net.endpoint(0.0),
+        None,
+        Pacing::new(Duration::from_millis(1), 2_000),
+    )
+    .unwrap();
+
+    let mut flat_tokens = Vec::new();
+    for loss in [0.0, 0.15, 0.4] {
+        let client = ClientSession::new(info_flat.clone()).unwrap();
+        flat_tokens.push(el.add_client(client, net.endpoint(loss)).unwrap());
+    }
+    let layered_tokens: Vec<_> = (0..2)
+        .map(|_| {
+            let client = ClientSession::new(info_layered.clone()).unwrap();
+            el.add_client(client, net.endpoint(0.0)).unwrap()
+        })
+        .collect();
+
+    for _ in 0..3_000 {
+        el.step();
+        if el.all_clients_complete() {
+            break;
+        }
+    }
+    assert!(
+        el.all_clients_complete(),
+        "not all clients finished: {:?}",
+        el.stats()
+    );
+    for token in flat_tokens {
+        let client = el.client(token).unwrap();
+        assert_eq!(client.file().unwrap(), &file_flat[..]);
+        assert!(client.subscription_level().is_none(), "flat session");
+    }
+    for token in layered_tokens {
+        let client = el.client(token).unwrap();
+        assert_eq!(client.file().unwrap(), &file_layered[..]);
+        assert!(
+            client.subscription_level().unwrap() >= 1,
+            "the loop must have executed at least one Join intent"
+        );
+    }
+    assert_eq!(el.stats().join_failures, 0);
 }
 
 #[test]

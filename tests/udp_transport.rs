@@ -5,8 +5,8 @@
 //! client pumps its transport on the test thread.
 
 use digital_fountain::proto::{
-    ClientSession, ControlRequest, ControlResponse, FountainServer, ServerSession, SessionConfig,
-    Transport, UdpMulticastTransport,
+    ClientSession, ControlRequest, ControlResponse, EventLoop, FountainServer, Pacing,
+    ServerSession, SessionConfig, Transport, UdpMulticastTransport,
 };
 use std::net::{Ipv4Addr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,6 +20,11 @@ fn patterned_file(len: usize, salt: usize) -> Vec<u8> {
 /// Drive `client` over `transport` until completion or `deadline`, passing
 /// every received datagram through `filter` first (identity for lossless
 /// runs, a deterministic dropper for the artificial-loss run).
+///
+/// The receive loop blocks in `recv_timeout` (kernel `poll(2)`, no
+/// spin-and-sleep): if the sender dies mid-download the loop still wakes up
+/// every interval, reaches the deadline check, and fails loudly instead of
+/// hanging CI.
 fn download(
     client: &mut ClientSession,
     transport: &mut UdpMulticastTransport,
@@ -33,13 +38,10 @@ fn download(
             "download did not complete within {deadline:?}: {:?}",
             client.stats()
         );
-        match transport.recv() {
-            Some((_group, datagram)) => {
-                if filter(&datagram) {
-                    client.handle_datagram(datagram);
-                }
+        if let Some((_group, datagram)) = transport.recv_timeout(Duration::from_millis(100)) {
+            if filter(&datagram) {
+                client.handle_datagram(datagram);
             }
-            None => std::thread::sleep(Duration::from_micros(200)),
         }
     }
 }
@@ -268,8 +270,9 @@ fn udp_loopback_layered_download_with_receiver_driven_joins() {
             client.stats(),
             client.subscription_level(),
         );
-        match client_transport.recv() {
-            Some((_group, datagram)) => match client.handle_datagram(datagram) {
+        if let Some((_group, datagram)) = client_transport.recv_timeout(Duration::from_millis(100))
+        {
+            match client.handle_datagram(datagram) {
                 digital_fountain::proto::ClientEvent::Join { group } => {
                     client_transport.join(group).unwrap();
                     joins += 1;
@@ -279,8 +282,7 @@ fn udp_loopback_layered_download_with_receiver_driven_joins() {
                     leaves += 1;
                 }
                 _ => {}
-            },
-            None => std::thread::sleep(Duration::from_micros(200)),
+            }
         }
     }
     stop.store(true, Ordering::Relaxed);
@@ -297,6 +299,96 @@ fn udp_loopback_layered_download_with_receiver_driven_joins() {
     expected.sort_unstable();
     joined.sort_unstable();
     assert_eq!(joined, expected);
+}
+
+#[test]
+fn recv_timeout_expires_when_the_sender_dies() {
+    // The CI-hang bugfix in miniature: a receiver whose sender is gone gets
+    // control back after the timeout instead of blocking (or spinning)
+    // forever, so test deadlines are always reached.
+    let mut rx = UdpMulticastTransport::loopback(48650).unwrap();
+    rx.join(0).unwrap();
+    let t0 = Instant::now();
+    assert_eq!(rx.recv_timeout(Duration::from_millis(80)), None);
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(70),
+        "returned early: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(5),
+        "timeout did not bound the wait: {waited:?}"
+    );
+    // A transport with nothing joined also times out rather than hanging.
+    let mut empty = UdpMulticastTransport::loopback(48655).unwrap();
+    assert_eq!(empty.recv_timeout(Duration::from_millis(20)), None);
+}
+
+#[test]
+fn event_loop_drives_64_concurrent_real_socket_clients_on_one_thread() {
+    // The readiness-driven driver at real-socket scale: one EventLoop on the
+    // test thread owns the server carousel (64 sessions on 64 groups) AND 64
+    // downloading clients, each with its own UDP loopback transport — 65
+    // session state machines, 64 receive sockets in one poll(2) set, zero
+    // helper threads.  Every client must complete and verify its file.
+    let data_port = 48700;
+    let clients = 64;
+    let files: Vec<Vec<u8>> = (0..clients).map(|i| patterned_file(20_000, i)).collect();
+
+    let mut server = FountainServer::new();
+    let mut ids = Vec::new();
+    for (i, file) in files.iter().enumerate() {
+        ids.push(
+            server
+                .add_session(
+                    file,
+                    SessionConfig {
+                        code_seed: 100 + i as u64,
+                        ..SessionConfig::default()
+                    },
+                )
+                .unwrap(),
+        );
+    }
+    let infos: Vec<_> = ids
+        .iter()
+        .map(|&id| server.session(id).unwrap().control_info().clone())
+        .collect();
+
+    let mut el: EventLoop<UdpMulticastTransport> = EventLoop::new();
+    el.add_fountain_server(
+        server,
+        UdpMulticastTransport::loopback(data_port).unwrap(),
+        None,
+        // 128 datagrams/ms across 64 sessions: each client sees ~2 per ms,
+        // well inside loopback socket buffers.
+        Pacing::new(Duration::from_millis(1), 128),
+    )
+    .unwrap();
+
+    let mut tokens = Vec::new();
+    for info in infos {
+        let client = ClientSession::new(info).unwrap();
+        let transport = UdpMulticastTransport::loopback(data_port).unwrap();
+        tokens.push(el.add_client(client, transport).unwrap());
+    }
+
+    let all_done = el.run(Duration::from_secs(60)).unwrap();
+    assert!(
+        all_done,
+        "only {}/{} clients completed: {:?}",
+        el.completed_clients(),
+        clients,
+        el.stats()
+    );
+    for (i, token) in tokens.into_iter().enumerate() {
+        let (client, _transport) = el.take_client(token).unwrap();
+        assert_eq!(
+            client.file().unwrap(),
+            &files[i][..],
+            "client {i} reconstructed the wrong bytes"
+        );
+    }
 }
 
 #[test]
@@ -330,9 +422,8 @@ fn udp_loopback_and_sim_emit_identical_datagrams() {
     let mut from_udp = Vec::new();
     let deadline = Instant::now() + Duration::from_secs(10);
     while from_udp.len() < from_sim.len() && Instant::now() < deadline {
-        match udp_rx.recv() {
-            Some((g, d)) => from_udp.push((g, d.to_vec())),
-            None => std::thread::sleep(Duration::from_micros(200)),
+        if let Some((g, d)) = udp_rx.recv_timeout(Duration::from_millis(100)) {
+            from_udp.push((g, d.to_vec()));
         }
     }
     // Global interleaving across groups is a transport property (the UDP
