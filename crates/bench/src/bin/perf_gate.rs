@@ -205,7 +205,7 @@ fn main() -> ExitCode {
             .find(|a| a.starts_with(prefix))
             .map(|a| a[prefix.len()..].to_string())
     };
-    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr6.json".to_string());
     let fresh_path = get("--fresh=").unwrap_or_else(|| "bench-report.json".to_string());
     let tolerance: f64 = get("--tolerance=")
         .map(|t| t.parse().expect("--tolerance must be a number"))
@@ -354,7 +354,7 @@ mod tests {
         // otherwise the event-loop's headline metric is silently ungated.
         // The path is relative to the workspace root, where both CI and
         // `cargo test` run.
-        for candidate in ["BENCH_pr5.json", "../../BENCH_pr5.json"] {
+        for candidate in ["BENCH_pr6.json", "../../BENCH_pr6.json"] {
             if std::path::Path::new(candidate).exists() {
                 let report = load_report(candidate).expect("committed baseline parses");
                 assert!(report.metrics.contains_key("codes.tornado_a.encode_mbps"));
@@ -368,6 +368,6 @@ mod tests {
                 return;
             }
         }
-        panic!("BENCH_pr5.json not found from the test working directory");
+        panic!("BENCH_pr6.json not found from the test working directory");
     }
 }

@@ -281,6 +281,16 @@ pub fn measure_layered_efficiency() -> Vec<df_sim::LayeredOutcome> {
     df_sim::layered_population_experiment(500_000, 6, 2, 1, &[1.0, 3.0, 7.0], 42, 400)
 }
 
+/// The hostile-channel robustness point of the benchmark report: the
+/// Gilbert–Elliott sweep (bursty loss up to a 50 % bad state, plus
+/// reordering, duplication and jitter) through the real client stack.  The
+/// rows record behaviour — completion, join/leave counts against burst
+/// episodes, reception efficiency — not throughput, so `perf_gate` reports
+/// them without gating.
+pub fn measure_hostile_channel() -> Vec<df_sim::HostileOutcome> {
+    df_sim::hostile_sweep(&[0.2, 0.5], &[4.0, 16.0], 0x6e11)
+}
+
 /// Render the machine-readable benchmark report (`BENCH_pr<N>.json`) that
 /// tracks the repo's performance trajectory across PRs.
 ///
@@ -340,6 +350,27 @@ pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
             r.reception_efficiency(),
             r.distinctness_efficiency(),
             if i + 1 < layered.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Robustness under hostile channels: Gilbert–Elliott bursty loss with
+    // reordering and duplication through the adaptive layered receiver.
+    // Behavioural rows (reported, not gated — see `measure_hostile_channel`).
+    let hostile = measure_hostile_channel();
+    out.push_str("  \"hostile_channel\": [\n");
+    for (i, r) in hostile.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"loss_bad\": {:.2}, \"burst_len\": {:.1}, \"complete\": {}, \"rounds\": {}, \"joins\": {}, \"leaves\": {}, \"burst_episodes\": {}, \"rejected\": {}, \"reception_efficiency\": {:.4}}}{}\n",
+            r.loss_bad,
+            r.burst_len,
+            r.complete,
+            r.rounds,
+            r.joins(),
+            r.leaves(),
+            r.burst_episodes,
+            r.rejected,
+            r.reception_efficiency(),
+            if i + 1 < hostile.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -35,6 +35,7 @@ pub struct DownloadStats {
     counter: ReceptionCounter,
     k: usize,
     decode_attempts: usize,
+    rejected: u64,
 }
 
 impl DownloadStats {
@@ -43,6 +44,7 @@ impl DownloadStats {
             counter: ReceptionCounter::new(n),
             k,
             decode_attempts: 0,
+            rejected: 0,
         }
     }
 
@@ -53,6 +55,10 @@ impl DownloadStats {
 
     fn note_attempt(&mut self) {
         self.decode_attempts += 1;
+    }
+
+    fn note_rejected(&mut self) {
+        self.rejected += 1;
     }
 
     /// Packets received (after network loss), including duplicates.
@@ -73,6 +79,14 @@ impl DownloadStats {
     /// Number of decode attempts the statistical strategy made.
     pub fn decode_attempts(&self) -> usize {
         self.decode_attempts
+    }
+
+    /// Valid-looking packets refused because the session's buffer cap
+    /// ([`ClientSession::buffer_cap`]) was already reached — the
+    /// bounded-memory contract's visible counter.  Always `0` for an honest
+    /// carousel: the cap sits well above the worst-case decode threshold.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Reception efficiency `η = k / received`.
@@ -99,6 +113,13 @@ pub enum ClientEvent {
     Ignored,
     /// A duplicate of an already-received packet (counted, not buffered).
     Duplicate,
+    /// A new, well-formed packet was refused because the session already
+    /// buffers [`ClientSession::buffer_cap`] undecoded packets — the
+    /// bounded-memory backstop against a flood of forged-but-valid-looking
+    /// datagrams.  Counted in [`DownloadStats::rejected`]; an honest
+    /// carousel never triggers it (the cap exceeds every reachable decode
+    /// threshold).
+    Rejected,
     /// A new packet was buffered; not enough have accumulated yet for the
     /// statistical strategy to attempt a decode.
     Buffered,
@@ -162,8 +183,14 @@ pub struct ClientSession {
     staged: Vec<(usize, Vec<u8>)>,
     stats: DownloadStats,
     /// Overhead margin the statistical strategy waits for before its next
-    /// decode attempt.
+    /// decode attempt.  Grows by 2 % of `k` per failed attempt, capped at
+    /// [`Self::MAX_ATTEMPT_MARGIN`] so the decode threshold always stays
+    /// below the buffer cap (otherwise a pathological run could starve the
+    /// decoder behind its own memory bound).
     attempt_margin: f64,
+    /// Most undecoded packets (staged plus inside the decoder) the session
+    /// will hold; see [`Self::buffer_cap`].
+    buffer_cap: usize,
     /// The receiver-driven join/leave state machine of the layered
     /// congestion-control mode; `None` for flat sessions.
     controller: Option<LayerController>,
@@ -260,6 +287,12 @@ impl ClientSession {
         let controller = layered.map(|session| LayerController::new(session, control.base_group));
         Ok(ClientSession {
             stats: DownloadStats::new(code.n(), code.k()),
+            // 1.5k + 64 packets: comfortably above the highest reachable
+            // decode threshold ((1 + MAX_ATTEMPT_MARGIN)·k) and the ~1.06k
+            // a Tornado decode actually needs, yet far below the `n` a
+            // hostile flood of distinct valid-looking indices could
+            // otherwise force the session to hold.
+            buffer_cap: code.k() + code.k() / 2 + 64,
             control,
             code,
             decoder,
@@ -269,6 +302,10 @@ impl ClientSession {
             file: None,
         })
     }
+
+    /// Cap on the statistical strategy's failure-driven overhead margin;
+    /// `(1 + this)·k` stays strictly below [`Self::buffer_cap`].
+    const MAX_ATTEMPT_MARGIN: f64 = 0.40;
 
     /// The session parameters this client joined with.
     pub fn control_info(&self) -> &ControlInfo {
@@ -328,6 +365,19 @@ impl ClientSession {
         self.decoder.received_total()
     }
 
+    /// Distinct packets staged for the next decode attempt but not yet fed.
+    pub fn buffered_packets(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Most undecoded packets this session will ever hold (staged plus fed
+    /// to the decoder).  A new packet arriving past the cap is refused with
+    /// [`ClientEvent::Rejected`] and counted in [`DownloadStats::rejected`],
+    /// bounding client memory under a forged-datagram flood.
+    pub fn buffer_cap(&self) -> usize {
+        self.buffer_cap
+    }
+
     /// Feed one received datagram to the session.
     ///
     /// Besides the decode-progress events, a layered session may answer with
@@ -366,6 +416,15 @@ impl ClientSession {
         let Some(pkt) = DataPacket::from_bytes(datagram) else {
             return ClientEvent::Ignored;
         };
+        let group = pkt.header.group as u64;
+        let base = self.control.base_group as u64;
+        if group < base || group >= base + self.control.layers as u64 {
+            // A cross-session spoof or forged group tag: not this session's
+            // traffic, so neither the decoder nor the congestion accounting
+            // may see it.  (Stragglers from a just-left layer still pass —
+            // the range covers every layer, not just the subscribed ones.)
+            return ClientEvent::Ignored;
+        }
         let idx = pkt.header.packet_index as usize;
         if idx >= self.code.n() {
             // Corrupted or foreign packet; the channel is best-effort, drop it.
@@ -386,6 +445,13 @@ impl ClientSession {
         }
         if !self.stats.record(idx) {
             return ClientEvent::Duplicate;
+        }
+        if self.staged.len() + self.decoder.received_total() >= self.buffer_cap {
+            // Bounded memory: past the cap a new packet is refused rather
+            // than buffered.  Unreachable from an honest carousel — the
+            // decode threshold that drains `staged` sits below the cap.
+            self.stats.note_rejected();
+            return ClientEvent::Rejected;
         }
         self.staged.push((idx, pkt.payload.to_vec()));
         // Statistical strategy: only attempt a decode once enough distinct
@@ -412,7 +478,7 @@ impl ClientSession {
             self.file = Some(reassemble_file(&source, self.control.file_len));
             ClientEvent::Complete
         } else {
-            self.attempt_margin += 0.02;
+            self.attempt_margin = (self.attempt_margin + 0.02).min(Self::MAX_ATTEMPT_MARGIN);
             ClientEvent::AttemptFailed
         }
     }
@@ -830,6 +896,61 @@ mod tests {
         // Below the statistical threshold nothing is fed yet, and the
         // duplicate never will be.
         assert_eq!(client.decoder_packets_fed(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_rejects_the_overflow_and_bounds_memory() {
+        let data = vec![3u8; 100_000];
+        let mut server = ServerSession::with_defaults(&data, 1, 23).unwrap();
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        // A real flood needs ~1.5k distinct packets to bite; shrinking the
+        // cap (a unit test can) exercises the identical rejection path in
+        // miniature.
+        client.buffer_cap = 40;
+        let mut datagrams = Vec::new();
+        while datagrams.len() < 60 {
+            if let Some((_g, d)) = server.poll_transmit() {
+                datagrams.push(d);
+            } else {
+                server.advance_round();
+            }
+        }
+        for (i, d) in datagrams.iter().enumerate() {
+            let event = client.handle_datagram(d.clone());
+            if i < 40 {
+                assert_eq!(event, ClientEvent::Buffered, "packet {i} fits the cap");
+            } else {
+                assert_eq!(event, ClientEvent::Rejected, "packet {i} exceeds the cap");
+            }
+            assert!(
+                client.buffered_packets() + client.decoder_packets_fed() <= client.buffer_cap(),
+                "memory bound violated at packet {i}"
+            );
+        }
+        assert_eq!(client.stats().rejected(), 20);
+        // A duplicate of a buffered packet still reports Duplicate, not
+        // Rejected: the cap only refuses *new* buffering.
+        assert_eq!(
+            client.handle_datagram(datagrams[0].clone()),
+            ClientEvent::Duplicate
+        );
+        assert_eq!(client.stats().rejected(), 20);
+    }
+
+    #[test]
+    fn the_decode_threshold_stays_below_the_buffer_cap() {
+        // Liveness: however many attempts fail, the statistical strategy's
+        // threshold must remain reachable inside the buffer cap, or the cap
+        // would starve the decoder of the packets it still needs.
+        let server = ServerSession::with_defaults(&[1u8; 200_000], 1, 3).unwrap();
+        let client = ClientSession::new(server.control_info().clone()).unwrap();
+        let k = client.stats().k() as f64;
+        let worst_threshold = (k * (1.0 + ClientSession::MAX_ATTEMPT_MARGIN)).ceil() as usize;
+        assert!(
+            worst_threshold < client.buffer_cap(),
+            "threshold {worst_threshold} must stay below cap {}",
+            client.buffer_cap()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@
 use crate::client::ClientEvent;
 use df_mcast::{LayeredSession, TransmissionSchedule};
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 
 /// The receiver-side join/leave state machine for one layered session.
@@ -55,6 +56,24 @@ pub(crate) struct LayerController {
     max_round: usize,
     /// Valid data packets counted per round (only layers `0..=level`).
     counts: HashMap<usize, usize>,
+    /// Serials already counted in the live accounting window.  A duplicated
+    /// (or attacker-replayed) datagram is not evidence its round arrived
+    /// intact, so each serial feeds `counts` at most once; the set is pruned
+    /// to the live window at every SP evaluation and cleared on re-anchor,
+    /// so it stays O(window), not O(session).
+    seen: HashSet<u64>,
+    /// Consecutive evaluated windows without inter-SP loss.
+    clean_streak: usize,
+    /// Clean windows required before the next join.  Starts at 1 (a clean
+    /// burst is enough, as in the paper) and doubles at every leave, so a
+    /// receiver that keeps overshooting backs off its probing instead of
+    /// oscillating with the channel's burst process.
+    join_caution: usize,
+    /// Lossy windows still absorbed without shedding another layer, after a
+    /// leave.  The leave itself needs driver rounds to take effect, and a
+    /// loss burst that triggered it will usually smear into the next window;
+    /// reacting again immediately would cascade straight to the base layer.
+    leave_cooldown: usize,
     /// Rounds before this one are never evaluated for loss: the window in
     /// which the receiver joined mid-round, or in which a subscription
     /// change was still propagating through the driver, would read as
@@ -80,6 +99,10 @@ impl LayerController {
             max_serial: None,
             max_round: 0,
             counts: HashMap::new(),
+            seen: HashSet::new(),
+            clean_streak: 0,
+            join_caution: 1,
+            leave_cooldown: 0,
             eval_from: 0,
             next_sp,
             started: false,
@@ -154,6 +177,22 @@ impl LayerController {
         (p * self.sp_interval() as u64 + phase) as usize
     }
 
+    /// Inverse of [`Self::round_of_serial`]: the serial of `round`'s first
+    /// datagram.  Used to prune [`Self::seen`] once a window is evaluated.
+    fn first_serial_of_round(&self, round: usize) -> u64 {
+        let n = self.schedule().n() as u64;
+        let sp = self.sp_interval() as u64;
+        let plain = (self.session.sp_interval() - self.session.burst_rounds()) as u64;
+        let p = round as u64 / sp;
+        let phase = round as u64 % sp;
+        let base = p * self.period_serials();
+        if phase <= plain {
+            base + phase * n
+        } else {
+            base + plain * n + (phase - plain) * 2 * n
+        }
+    }
+
     /// Packets a level-`level` subscriber should see in `round` if nothing
     /// is lost.
     fn expected_at_level(&self, round: usize) -> usize {
@@ -215,6 +254,19 @@ impl LayerController {
             return;
         }
         self.max_round = self.max_round.max(round);
+        // Rounds whose window has already been evaluated can never be looked
+        // at again, so their serials are dead for accounting; ignoring them
+        // outright keeps a replay flood of historic serials from growing
+        // `counts` or `seen` beyond the live window.
+        if round < self.next_sp.saturating_sub(self.sp_interval()) {
+            return;
+        }
+        // Dedupe by serial: a duplicated or replayed datagram is not
+        // evidence that its round arrived intact, so each serial counts
+        // once however many copies the channel (or an attacker) delivers.
+        if !self.seen.insert(serial) {
+            return;
+        }
         if layer as usize <= self.level {
             *self.counts.entry(round).or_insert(0) += 1;
         }
@@ -236,6 +288,7 @@ impl LayerController {
         self.next_sp = (round / self.sp_interval() + 1) * self.sp_interval();
         self.max_round = round;
         self.counts.clear();
+        self.seen.clear();
     }
 
     /// Evaluate the window `[sp − sp_interval, sp)` and queue at most one
@@ -244,10 +297,12 @@ impl LayerController {
         let mut inter_sp_loss = false;
         let mut burst_loss = false;
         let mut burst_seen = false;
+        let mut evaluated_any = false;
         for round in sp.saturating_sub(self.sp_interval())..sp {
             if round < self.eval_from {
                 continue;
             }
+            evaluated_any = true;
             let got = self.counts.get(&round).copied().unwrap_or(0);
             let lost = got < self.expected_at_level(round);
             if self.is_burst(round) {
@@ -258,26 +313,62 @@ impl LayerController {
             }
         }
         self.counts.retain(|&round, _| round >= sp);
-        if inter_sp_loss && self.level > 0 {
-            // Sustained loss: shed the top layer immediately.
-            self.decisions.push_back(ClientEvent::Leave {
-                group: self.base_group + self.level as u32,
-            });
-            self.level -= 1;
-            self.reset_after_change();
-        } else if !inter_sp_loss
-            && burst_seen
-            && !burst_loss
-            && self.level + 1 < self.schedule().layers()
-        {
-            // A clean burst is the all-clear to add a layer at the SP.
-            self.level += 1;
-            self.decisions.push_back(ClientEvent::Join {
-                group: self.base_group + self.level as u32,
-            });
-            self.reset_after_change();
+        let cutoff = self.first_serial_of_round(sp);
+        self.seen.retain(|&serial| serial >= cutoff);
+        if !evaluated_any {
+            // Every round of the window fell inside a subscription-change
+            // guard: no evidence either way, so neither the clean streak
+            // nor the loss reaction may move.
+            return;
+        }
+        if inter_sp_loss {
+            self.clean_streak = 0;
+            if self.leave_cooldown > 0 {
+                // A layer was just shed: the change is still propagating
+                // through the driver and the burst that forced it smears
+                // into this window, so absorb the loss instead of cascading
+                // another level down.
+                self.leave_cooldown -= 1;
+            } else if self.level > 0 {
+                // Sustained loss: shed the top layer.
+                self.decisions.push_back(ClientEvent::Leave {
+                    group: self.base_group + self.level as u32,
+                });
+                self.level -= 1;
+                self.leave_cooldown = Self::LEAVE_COOLDOWN_SPS;
+                // Back off the next probe: each shed layer doubles the
+                // clean evidence required before re-joining, so a bursty
+                // channel cannot make the receiver oscillate at the burst
+                // frequency.
+                self.join_caution = (self.join_caution * 2).min(Self::MAX_JOIN_CAUTION);
+                self.reset_after_change();
+            }
+        } else {
+            self.clean_streak += 1;
+            self.leave_cooldown = self.leave_cooldown.saturating_sub(1);
+            if burst_seen
+                && !burst_loss
+                && self.level + 1 < self.schedule().layers()
+                && self.clean_streak >= self.join_caution
+            {
+                // A clean burst is the all-clear to add a layer at the SP —
+                // once enough consecutive clean windows back it up.
+                self.level += 1;
+                self.decisions.push_back(ClientEvent::Join {
+                    group: self.base_group + self.level as u32,
+                });
+                self.reset_after_change();
+            }
         }
     }
+
+    /// Lossy windows absorbed after a leave before another layer may be
+    /// shed.
+    const LEAVE_COOLDOWN_SPS: usize = 1;
+
+    /// Cap on [`Self::join_caution`]: even a receiver that shed many layers
+    /// re-probes within a bounded number of clean windows.
+    const MAX_JOIN_CAUTION: usize = 8;
 
     /// After a subscription change, skip the rounds during which the driver
     /// is still acting on it (the change propagates to the transport while
@@ -453,6 +544,210 @@ mod tests {
             c.eval_from > far_round && c.next_sp > far_round,
             "accounting restarts past the anchor"
         );
+    }
+
+    /// Like [`feed_round`], but every delivered packet is observed `copies`
+    /// times — a duplicating channel in front of the controller.
+    fn feed_round_dup(
+        c: &mut LayerController,
+        round: usize,
+        serial: &mut u64,
+        budget: usize,
+        copies: usize,
+    ) {
+        let schedule = c.schedule().clone();
+        let mult = if c.is_burst(round) { 2 } else { 1 };
+        let mut delivered = 0usize;
+        for layer in 0..schedule.layers() {
+            for _ in 0..mult * schedule.transmission_len(layer, round) {
+                let s = *serial;
+                *serial += 1;
+                if layer <= c.level() {
+                    delivered += 1;
+                    if delivered <= budget {
+                        for _ in 0..copies {
+                            c.observe(s as u32, 10 + layer as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_mask_loss() {
+        // A duplicating channel delivers every surviving packet twice, but
+        // only half the base-layer packets survive: the reception *count*
+        // equals the expected count, yet half the round is missing.  Serial
+        // dedupe must see through the duplicates and still shed the layer.
+        let mut c = controller(4, 64, 4, 1);
+        let mut serial = 0u64;
+        let mut round = 0;
+        while c.level() < 1 {
+            feed_round(&mut c, round, &mut serial, usize::MAX);
+            while c.pop_decision().is_some() {}
+            round += 1;
+            assert!(round < 64, "climb stalled");
+        }
+        // Level 1 expects 16 packets per plain round; 8 arrive, twice each.
+        let mut decision = None;
+        for _ in 0..8 * c.sp_interval() {
+            feed_round_dup(&mut c, round, &mut serial, 8, 2);
+            round += 1;
+            if let Some(d) = c.pop_decision() {
+                decision = Some(d);
+                break;
+            }
+        }
+        assert_eq!(decision, Some(ClientEvent::Leave { group: 11 }));
+    }
+
+    #[test]
+    fn duplicated_and_reordered_arrivals_count_once_near_the_serial_wrap() {
+        // Serials spanning the 32-bit wrap arrive out of order and twice
+        // each; the accounting must unwrap them, count each exactly once,
+        // and produce no spurious decision.
+        let mut c = controller(2, 10, 2, 1);
+        // Anchor just before the wrap: serial u32::MAX - 4 sits in some
+        // round r; the next rounds' serials cross 2^32.
+        let base = u32::MAX as u64 - 4;
+        c.observe(base as u32, 10);
+        let anchor_round = c.max_round;
+        // The serials of the two rounds after the anchor round, reordered
+        // and duplicated.
+        let start = c.first_serial_of_round(anchor_round + 1);
+        let end = c.first_serial_of_round(anchor_round + 3);
+        let serials: Vec<u64> = (start..end).collect();
+        // Deterministic shuffle: split and interleave from both ends.
+        let mid = serials.len() / 2;
+        let (front, back) = serials.split_at(mid);
+        let mixed: Vec<u64> = back.iter().chain(front.iter()).copied().collect();
+        for &s in &mixed {
+            c.observe(s as u32, 10);
+            c.observe(s as u32, 10); // duplicate
+        }
+        assert!(
+            c.max_serial.unwrap() >= u32::MAX as u64,
+            "serials unwrapped"
+        );
+        for r in anchor_round + 1..anchor_round + 3 {
+            if let Some(&got) = c.counts.get(&r) {
+                let expected =
+                    (c.first_serial_of_round(r + 1) - c.first_serial_of_round(r)) as usize;
+                assert_eq!(got, expected, "round {r} must count each serial once");
+            }
+        }
+        assert!(
+            c.pop_decision().is_none(),
+            "no spurious decision at the wrap"
+        );
+    }
+
+    #[test]
+    fn replayed_historic_serials_cannot_inflate_memory_or_decisions() {
+        let mut c = controller(2, 64, 2, 1);
+        let mut serial = 0u64;
+        for round in 0..8 {
+            feed_round(&mut c, round, &mut serial, usize::MAX);
+            while c.pop_decision().is_some() {}
+        }
+        let seen_before = c.seen.len();
+        let counts_before = c.counts.clone();
+        let level_before = c.level();
+        // A flood of serials from rounds whose windows were already
+        // evaluated: every one must be ignored outright.
+        for _ in 0..50 {
+            for s in 0..c.first_serial_of_round(4) {
+                c.observe(s as u32, 10);
+            }
+        }
+        assert_eq!(
+            c.seen.len(),
+            seen_before,
+            "historic serials must not grow `seen`"
+        );
+        assert_eq!(c.counts, counts_before, "historic serials must not count");
+        assert_eq!(c.level(), level_before);
+        assert!(c.pop_decision().is_none());
+        // And the live-window state itself is bounded by the schedule, not
+        // by how much traffic the flood delivered.
+        let n = c.schedule().n();
+        let bound = 3 * c.sp_interval() * 2 * n;
+        assert!(
+            c.seen.len() <= bound,
+            "seen {} > bound {bound}",
+            c.seen.len()
+        );
+    }
+
+    #[test]
+    fn a_leave_doubles_the_clean_evidence_needed_to_rejoin() {
+        let mut c = controller(4, 64, 2, 1);
+        let mut serial = 0u64;
+        let mut round = 0;
+        // First join: one clean window suffices.
+        let mut windows_to_first_join = 0;
+        while c.level() < 1 {
+            feed_round(&mut c, round, &mut serial, usize::MAX);
+            round += 1;
+            windows_to_first_join += 1;
+            assert!(round < 64, "climb stalled");
+        }
+        while c.pop_decision().is_some() {}
+        // Congest until the layer is shed again.
+        while c.level() > 0 {
+            feed_round(&mut c, round, &mut serial, 10);
+            round += 1;
+            while c.pop_decision().is_some() {}
+            assert!(round < 128, "leave never fired");
+        }
+        // Clean again: the rejoin must now take strictly more rounds than
+        // the first join did — the caution doubled.
+        let mut windows_to_rejoin = 0;
+        while c.level() < 1 {
+            feed_round(&mut c, round, &mut serial, usize::MAX);
+            round += 1;
+            windows_to_rejoin += 1;
+            assert!(round < 256, "rejoin never fired");
+        }
+        assert!(
+            windows_to_rejoin > windows_to_first_join,
+            "rejoin after {windows_to_rejoin} rounds, first join after \
+             {windows_to_first_join}: hysteresis must slow the re-probe"
+        );
+    }
+
+    #[test]
+    fn persistent_congestion_still_sheds_every_layer_despite_the_cooldown() {
+        let mut c = controller(4, 64, 2, 1);
+        let mut serial = 0u64;
+        let mut round = 0;
+        while c.level() < 2 {
+            feed_round(&mut c, round, &mut serial, usize::MAX);
+            while c.pop_decision().is_some() {}
+            round += 1;
+            assert!(round < 64, "climb stalled");
+        }
+        // The path collapses below even the base rate: the receiver must
+        // still walk all the way down (the cooldown delays, never blocks),
+        // and shed each layer exactly once.
+        let mut leaves = Vec::new();
+        for _ in 0..32 * c.sp_interval() {
+            feed_round(&mut c, round, &mut serial, 4);
+            round += 1;
+            while let Some(d) = c.pop_decision() {
+                leaves.push(d);
+            }
+        }
+        assert_eq!(
+            leaves,
+            vec![
+                ClientEvent::Leave { group: 12 },
+                ClientEvent::Leave { group: 11 },
+            ],
+            "exactly one leave per subscribed layer, no oscillation"
+        );
+        assert_eq!(c.level(), 0);
     }
 
     #[test]

@@ -21,11 +21,20 @@
 //!   client sessions (receiver-driven join/leave) over `SimMulticast`.
 //! * [`swarm`] — the driver-scale experiment: thousands of concurrent
 //!   client sessions pumped by one `df_proto::EventLoop` on one thread.
+//! * [`channel`] — composable hostile-channel stages (Gilbert–Elliott
+//!   bursty loss, bounded reordering, duplication, jitter) and the
+//!   [`HostileChannel`] transport decorator that applies them to any
+//!   `df_proto::Transport`.
+//! * [`hostile`] — the robustness experiment: adaptive layered receivers
+//!   downloading through hostile channels, sweeping Gilbert–Elliott
+//!   parameters while asserting completion and join/leave stability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod experiment;
+pub mod hostile;
 pub mod interleaved;
 pub mod layered;
 pub mod loss;
@@ -33,9 +42,16 @@ pub mod receiver;
 pub mod swarm;
 pub mod trace;
 
+pub use channel::{
+    ChannelModel, ChannelStats, DuplicateChannel, GilbertElliottChannel, HostileChannel,
+    HostileChannelBuilder, JitterChannel, ReorderChannel,
+};
 pub use experiment::{
     file_size_experiment, receiver_scaling_experiment, speedup_table, trace_experiment,
     EfficiencyPoint, SpeedupRow,
+};
+pub use hostile::{
+    hostile_channel_experiment, hostile_sweep, HostileConfig, HostileOutcome, SubscriptionEvent,
 };
 pub use interleaved::InterleavedCode;
 pub use layered::{layered_population_experiment, LayeredOutcome};

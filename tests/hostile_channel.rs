@@ -1,0 +1,148 @@
+//! Hostile-channel integration: the readiness-driven [`EventLoop`] pumping a
+//! layered carousel to a fleet of receivers that each sit behind their own
+//! [`HostileChannel`] — Gilbert–Elliott bursty loss up to a 50 % bad state,
+//! reordering, duplication and delay jitter — plus the sweep-level claims the
+//! `repro hostile` table is built on.
+//!
+//! The acceptance criteria under test: every receiver completes, nobody
+//! panics, client memory stays inside its cap, and the adaptive subscription
+//! logic does not oscillate (leaves bounded by the channel's burst episodes).
+
+use digital_fountain::proto::{
+    ClientSession, EventLoop, Pacing, ServerSession, SessionConfig, SimEndpoint, SimMulticast,
+};
+use digital_fountain::sim::{
+    hostile_channel_experiment, hostile_sweep, HostileChannel, HostileChannelBuilder, HostileConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn random_file(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// Staged + decoder-held packets never exceed the advertised cap.
+fn assert_bounded(client: &ClientSession) {
+    assert!(
+        client.buffered_packets() + client.decoder_packets_fed() <= client.buffer_cap(),
+        "memory bound violated: {} staged + {} fed > cap {}",
+        client.buffered_packets(),
+        client.decoder_packets_fed(),
+        client.buffer_cap()
+    );
+}
+
+#[test]
+fn event_loop_completes_a_fleet_behind_hostile_channels() {
+    // One layered carousel, eight receivers, each behind an independently
+    // seeded hostile channel averaging ~15 % loss in long bursts.  The
+    // server rides a *transparent* HostileChannel (empty pipeline) so the
+    // whole fleet shares one EventLoop<HostileChannel<SimEndpoint>>.
+    let data = random_file(80_000, 21);
+    let server = ServerSession::new(
+        &data,
+        SessionConfig {
+            layers: 4,
+            code_seed: 21,
+            sp_interval: 2,
+            burst_rounds: 1,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    let n = server.code().n();
+    let info = server.control_info().clone();
+
+    let net = SimMulticast::new(21);
+    let mut el: EventLoop<HostileChannel<SimEndpoint>> = EventLoop::new();
+    el.add_server_session(
+        server,
+        HostileChannelBuilder::new(0).wrap(net.endpoint(0.0)),
+        Pacing::new(Duration::from_millis(1), n.div_ceil(4).max(1)),
+    );
+    let fleet = 8;
+    let mut tokens = Vec::with_capacity(fleet);
+    for i in 0..fleet as u64 {
+        let session = ClientSession::new(info.clone()).unwrap();
+        let channel = HostileChannelBuilder::new(900 + i)
+            .gilbert_elliott(0.15, 8.0)
+            .reorder(0.05, 6)
+            .duplicate(0.02)
+            .jitter(2)
+            .wrap(net.endpoint(0.0));
+        tokens.push(el.add_client(session, channel).unwrap());
+    }
+
+    let mut steps = 0;
+    while steps < 600_000 && !el.all_clients_complete() {
+        el.step();
+        steps += 1;
+        if steps % 4096 == 0 {
+            for &token in &tokens {
+                assert_bounded(el.client(token).unwrap());
+            }
+        }
+    }
+
+    assert!(
+        el.all_clients_complete(),
+        "only {}/{fleet} hostile-channel clients completed after {steps} steps",
+        el.completed_clients()
+    );
+    for token in tokens {
+        let client = el.client(token).unwrap();
+        assert_eq!(
+            client.file().unwrap(),
+            &data[..],
+            "corrupted reconstruction"
+        );
+        assert_eq!(client.stats().rejected(), 0, "honest carousel hit the cap");
+        assert_bounded(client);
+    }
+}
+
+#[test]
+fn ge_sweep_up_to_half_loss_completes_without_oscillating() {
+    // The headline acceptance sweep: bad-state loss up to 50 %, two burst
+    // scales.  Every cell must complete, stay inside the memory cap, and
+    // leave at most once per burst episode (no sustained oscillation).
+    for out in hostile_sweep(&[0.2, 0.5], &[4.0, 16.0], 31) {
+        assert!(
+            out.complete,
+            "receiver under loss_bad={} burst_len={} never completed: {out:?}",
+            out.loss_bad, out.burst_len
+        );
+        assert_eq!(out.rejected, 0, "honest traffic must never be rejected");
+        assert!(
+            out.leaves() as u64 <= out.burst_episodes,
+            "oscillation at loss_bad={}: {} leaves for {} episodes",
+            out.loss_bad,
+            out.leaves(),
+            out.burst_episodes
+        );
+        assert!(
+            out.reception_efficiency() > 0.15,
+            "efficiency collapsed: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn a_hostile_run_replays_identically_from_its_seed() {
+    // Trace-replay determinism at the harshest sweep point: the full
+    // join/leave event sequence, round count and channel counters are a pure
+    // function of the config.
+    let cfg = HostileConfig {
+        loss_bad: 0.5,
+        burst_len: 16.0,
+        seed: 99,
+        ..HostileConfig::default()
+    };
+    let a = hostile_channel_experiment(&cfg);
+    let b = hostile_channel_experiment(&cfg);
+    assert_eq!(a.events, b.events, "join/leave trace must replay exactly");
+    assert_eq!(a, b, "the full outcome must replay exactly");
+    assert!(a.complete);
+}

@@ -331,47 +331,64 @@ fn event_loop_drives_64_concurrent_real_socket_clients_on_one_thread() {
     // downloading clients, each with its own UDP loopback transport — 65
     // session state machines, 64 receive sockets in one poll(2) set, zero
     // helper threads.  Every client must complete and verify its file.
-    let data_port = 48700;
     let clients = 64;
     let files: Vec<Vec<u8>> = (0..clients).map(|i| patterned_file(20_000, i)).collect();
 
-    let mut server = FountainServer::new();
-    let mut ids = Vec::new();
-    for (i, file) in files.iter().enumerate() {
-        ids.push(
-            server
-                .add_session(
-                    file,
-                    SessionConfig {
-                        code_seed: 100 + i as u64,
-                        ..SessionConfig::default()
-                    },
-                )
-                .unwrap(),
-        );
-    }
-    let infos: Vec<_> = ids
-        .iter()
-        .map(|&id| server.session(id).unwrap().control_info().clone())
-        .collect();
+    let try_setup = |data_port: u16| -> std::io::Result<(
+        EventLoop<UdpMulticastTransport>,
+        Vec<digital_fountain::proto::Token>,
+    )> {
+        let mut server = FountainServer::new();
+        let mut ids = Vec::new();
+        for (i, file) in files.iter().enumerate() {
+            ids.push(
+                server
+                    .add_session(
+                        file,
+                        SessionConfig {
+                            code_seed: 100 + i as u64,
+                            ..SessionConfig::default()
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        let infos: Vec<_> = ids
+            .iter()
+            .map(|&id| server.session(id).unwrap().control_info().clone())
+            .collect();
 
-    let mut el: EventLoop<UdpMulticastTransport> = EventLoop::new();
-    el.add_fountain_server(
-        server,
-        UdpMulticastTransport::loopback(data_port).unwrap(),
-        None,
-        // 128 datagrams/ms across 64 sessions: each client sees ~2 per ms,
-        // well inside loopback socket buffers.
-        Pacing::new(Duration::from_millis(1), 128),
-    )
-    .unwrap();
+        let mut el: EventLoop<UdpMulticastTransport> = EventLoop::new();
+        el.add_fountain_server(
+            server,
+            UdpMulticastTransport::loopback(data_port)?,
+            None,
+            // 128 datagrams/ms across 64 sessions: each client sees ~2 per ms,
+            // well inside loopback socket buffers.
+            Pacing::new(Duration::from_millis(1), 128),
+        )?;
 
-    let mut tokens = Vec::new();
-    for info in infos {
-        let client = ClientSession::new(info).unwrap();
-        let transport = UdpMulticastTransport::loopback(data_port).unwrap();
-        tokens.push(el.add_client(client, transport).unwrap());
-    }
+        let mut tokens = Vec::new();
+        for info in infos {
+            let client = ClientSession::new(info).unwrap();
+            let transport = UdpMulticastTransport::loopback(data_port)?;
+            tokens.push(el.add_client(client, transport)?);
+        }
+        Ok((el, tokens))
+    };
+
+    // The 64 consecutive data ports sit inside the kernel's ephemeral range,
+    // so an unrelated socket (another test's sender, another process) can
+    // legitimately hold one of them; move to a fresh range instead of
+    // flaking.
+    let mut attempt = 0u16;
+    let (mut el, tokens) = loop {
+        match try_setup(48700 + attempt * 200) {
+            Ok(setup) => break setup,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt < 4 => attempt += 1,
+            Err(e) => panic!("could not stage the loopback fleet: {e}"),
+        }
+    };
 
     let all_done = el.run(Duration::from_secs(60)).unwrap();
     assert!(
