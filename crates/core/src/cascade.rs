@@ -469,6 +469,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "large-k statistical sweep; intractable under the Miri interpreter"
+    )]
     fn level_sizes_shrink_geometrically() {
         let c = Cascade::build(10_000, TORNADO_A, 2).unwrap();
         let sizes = c.level_sizes();
@@ -544,6 +548,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "large-k statistical sweep; intractable under the Miri interpreter"
+    )]
     fn final_block_stays_comfortably_decodable() {
         // The final code must keep at least as many checks as a rate-1/2 code
         // would need, otherwise the top of the cascade becomes the overhead

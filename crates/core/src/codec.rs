@@ -239,6 +239,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "large-k statistical sweep; intractable under the Miri interpreter"
+    )]
     fn overhead_trials_are_reasonable() {
         let code = TornadoCode::new_a(1000, 3).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);

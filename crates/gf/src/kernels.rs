@@ -344,6 +344,10 @@ mod x86 {
     };
 
     /// One AVX-512 step: 64 products via two nibble shuffles.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be inside an `avx512bw` target-feature region.
     #[inline(always)]
     unsafe fn product64(src: __m512i, lo: __m512i, hi: __m512i, mask: __m512i) -> __m512i {
         // SAFETY: caller is inside an avx512bw target_feature region.
@@ -412,6 +416,10 @@ mod x86 {
     }
 
     /// One AVX2 step: 32 products via two nibble shuffles.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be inside an `avx2` target-feature region.
     #[inline(always)]
     unsafe fn product32(src: __m256i, lo: __m256i, hi: __m256i, mask: __m256i) -> __m256i {
         // SAFETY: caller is inside an avx2 target_feature region.
@@ -584,7 +592,10 @@ mod tests {
         // Every length in the satellite-task range, against a spread of
         // coefficients including both field "edges" and a rolling value; hits
         // every unaligned head/tail combination of the 32/16/8-byte kernels.
-        for len in 0..=300usize {
+        // Under the Miri interpreter the exhaustive sweep is intractable, so
+        // subsample lengths (the full sweep still runs natively and in CI).
+        let step = if cfg!(miri) { 37 } else { 1 };
+        for len in (0..=300usize).step_by(step) {
             for coeff in [0u8, 1, 2, 3, 0x1d, 0x80, 0xff, (len as u8).wrapping_mul(7)] {
                 check_all_kernels(coeff, len);
             }
@@ -594,7 +605,9 @@ mod tests {
     #[test]
     fn all_coefficients_match_scalar_at_vector_boundaries() {
         // Every coefficient, at lengths straddling the SIMD chunk sizes.
-        for coeff in 0..=255u8 {
+        // Subsampled under Miri as above.
+        let step = if cfg!(miri) { 17 } else { 1 };
+        for coeff in (0..=255u8).step_by(step as usize) {
             for len in [7usize, 8, 15, 16, 17, 31, 32, 33, 64, 100, 1024] {
                 check_all_kernels(coeff, len);
             }
@@ -624,6 +637,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "probes host CPU features; the miri job forces the portable tiers"
+    )]
     fn force_tier_values_resolve_or_error() {
         // The portable tiers are always accepted…
         assert_eq!(forced_isa("scalar"), Ok(Isa::Scalar));

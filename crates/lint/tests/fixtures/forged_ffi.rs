@@ -1,0 +1,6 @@
+// Fixture for the `ffi-allowlist` rule: an extern block declaring a
+// function that is not in FFI_ALLOWLIST.
+
+extern "C" {
+    fn connect(sockfd: i32, addr: *const u8, addrlen: u32) -> i32; // line 5
+}

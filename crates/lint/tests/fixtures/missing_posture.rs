@@ -1,0 +1,4 @@
+// Fixture for the `unsafe-posture` rule: a crate root with neither
+// #![forbid(unsafe_code)] nor #![deny(unsafe_op_in_unsafe_fn)].
+
+pub fn noop() {}

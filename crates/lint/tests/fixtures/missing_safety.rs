@@ -1,0 +1,17 @@
+// Fixture for the `safety-comment` rule: the first unsafe block has no
+// justification; the second is properly annotated and must not fire.
+// NOTE: never compiled or linted as part of the tree — the walker skips
+// `tests/fixtures/`.
+
+fn undocumented() {
+    let x = [1u8, 2];
+    let p = x.as_ptr();
+    unsafe { p.read() }; // line 9: should fire
+}
+
+fn documented() -> u8 {
+    let x = [1u8, 2];
+    let p = x.as_ptr();
+    // SAFETY: `p` points at the live two-byte array above.
+    unsafe { p.read() }
+}

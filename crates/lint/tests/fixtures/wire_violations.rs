@@ -1,0 +1,20 @@
+// Fixture for the `wire-discipline` rule: a panic path, an unannotated
+// indexing site, an annotated one (must not fire), and a #[cfg(test)]
+// region whose unwraps are exempt.
+
+pub fn parse(data: &[u8]) -> u32 {
+    let first = data[0]; // line 6: unannotated indexing — should fire
+    let tail: u32 = data.last().copied().map(u32::from).unwrap(); // line 7: should fire
+    // bounds: caller guarantees at least one byte.
+    let noted = data[0];
+    u32::from(first) + tail + u32::from(noted)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u8> = Some(1);
+        v.unwrap(); // inside cfg(test): must not fire
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for `df-lint`: each rule fires on its fixture with the
+//! right file:line, the whole tree passes clean, and seeded violations
+//! (drifted DESIGN.md constants, forged FFI rows) are caught.
+//!
+//! The fixture files under `tests/fixtures/` are neither compiled (cargo only
+//! builds top-level `tests/*.rs`) nor seen by `run()` (the walker skips
+//! `tests/fixtures/`).
+
+use std::path::{Path, PathBuf};
+
+use df_lint::{
+    check_design_text, check_ffi_allowlist, check_safety_comments, check_unsafe_posture,
+    check_wire_discipline, run, split_comments, WireConstants,
+};
+
+fn fixture(name: &str) -> (String, Vec<df_lint::SourceLine>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    (
+        format!("crates/lint/tests/fixtures/{name}"),
+        split_comments(&src),
+    )
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn safety_rule_fires_with_file_and_line() {
+    let (file, lines) = fixture("missing_safety.rs");
+    let diags = check_safety_comments(&file, &lines);
+    assert_eq!(diags.len(), 1, "exactly the undocumented block: {diags:?}");
+    assert_eq!(diags[0].file, file);
+    assert_eq!(diags[0].line, 9);
+    assert_eq!(diags[0].rule, "safety-comment");
+}
+
+#[test]
+fn wire_rule_fires_on_panic_paths_and_indexing_only_outside_tests() {
+    let (file, lines) = fixture("wire_violations.rs");
+    let diags = check_wire_discipline(&file, &lines);
+    let mut hits: Vec<(usize, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    hits.sort();
+    assert_eq!(
+        hits,
+        [(6, "wire-discipline"), (7, "wire-discipline")],
+        "indexing at 6 and unwrap at 7, nothing from the test mod: {diags:?}"
+    );
+}
+
+#[test]
+fn ffi_rule_fires_on_forged_signature_and_out_of_shims_block() {
+    // As a shims/ path: unknown signature.
+    let (_, lines) = fixture("forged_ffi.rs");
+    let files = vec![("shims/forged/src/lib.rs".to_string(), lines.clone())];
+    let diags = check_ffi_allowlist(&files);
+    let forged: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file == "shims/forged/src/lib.rs")
+        .collect();
+    assert_eq!(forged.len(), 1, "{diags:?}");
+    assert_eq!(forged[0].line, 5);
+    assert!(forged[0].message.contains("fn connect"));
+    // Stale allowlist row also reported: the real poll(2) entry went unmatched.
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("stale FFI allowlist entry")));
+
+    // Same block outside shims/ is banned outright.
+    let files = vec![("crates/evil/src/lib.rs".to_string(), lines)];
+    let diags = check_ffi_allowlist(&files);
+    assert!(
+        diags.iter().any(|d| d.file == "crates/evil/src/lib.rs"
+            && d.line == 5
+            && d.message.contains("outside shims/")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn posture_rule_fires_on_bare_crate_root() {
+    let (file, lines) = fixture("missing_posture.rs");
+    let diags = check_unsafe_posture(&file, &lines);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[0].rule, "unsafe-posture");
+}
+
+#[test]
+fn doc_drift_fires_on_seeded_control_version_drift() {
+    let consts = WireConstants {
+        magic: 0xDF,
+        version: 2,
+        header_len: 12,
+        max_layers: 32,
+        max_scheduled_layers: 16,
+    };
+    let design = std::fs::read_to_string(repo_root().join("DESIGN.md")).unwrap();
+    assert!(
+        check_design_text(&design, &consts).is_empty(),
+        "checked-in DESIGN.md is clean"
+    );
+
+    // Seed the drift the acceptance criteria call out: bump CONTROL_VERSION.
+    let drifted = design
+        .replace("wire version 2", "wire version 3")
+        .replace("`CONTROL_VERSION` = 2", "`CONTROL_VERSION` = 3");
+    let diags = check_design_text(&drifted, &consts);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|(line, _)| *line > 0));
+}
+
+#[test]
+fn whole_tree_is_clean() {
+    let diags = run(&repo_root());
+    assert!(
+        diags.is_empty(),
+        "df-lint must pass on the checked-in tree:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -474,13 +474,16 @@ impl ClientSession {
             }
         }
         if self.decoder.is_complete() {
-            let source = self.decoder.source().expect("decoder reported completion");
-            self.file = Some(reassemble_file(&source, self.control.file_len));
-            ClientEvent::Complete
-        } else {
-            self.attempt_margin = (self.attempt_margin + 0.02).min(Self::MAX_ATTEMPT_MARGIN);
-            ClientEvent::AttemptFailed
+            // `source()` is Some whenever the decoder reports completion; if
+            // that invariant ever broke, degrade to a failed attempt rather
+            // than panicking while processing untrusted traffic.
+            if let Some(source) = self.decoder.source() {
+                self.file = Some(reassemble_file(&source, self.control.file_len));
+                return ClientEvent::Complete;
+            }
         }
+        self.attempt_margin = (self.attempt_margin + 0.02).min(Self::MAX_ATTEMPT_MARGIN);
+        ClientEvent::AttemptFailed
     }
 }
 

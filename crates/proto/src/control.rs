@@ -273,28 +273,30 @@ impl<'a> Reader<'a> {
         if end > self.data.len() {
             return None;
         }
+        // bounds: `pos <= end <= data.len()` established just above.
         let out = &self.data[self.pos..end];
         self.pos = end;
         Some(out)
     }
 
     fn u8(&mut self) -> Option<u8> {
+        // bounds: take(1) returned a slice of exactly one byte.
         self.take(1).map(|b| b[0])
     }
 
     fn u16(&mut self) -> Option<u16> {
-        self.take(2)
-            .map(|b| u16::from_be_bytes(b.try_into().unwrap()))
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes(b.try_into().ok()?))
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes(b.try_into().ok()?))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+        let b = self.take(8)?;
+        Some(u64::from_be_bytes(b.try_into().ok()?))
     }
 
     /// Require that the datagram has been consumed exactly.

@@ -26,6 +26,7 @@ impl PacketHeader {
     /// Serialise the header into 12 bytes (big-endian fields).
     pub fn encode(&self) -> [u8; HEADER_LEN] {
         let mut buf = [0u8; HEADER_LEN];
+        // bounds: `buf` is exactly HEADER_LEN (12) bytes by construction.
         buf[0..4].copy_from_slice(&self.packet_index.to_be_bytes());
         buf[4..8].copy_from_slice(&self.serial.to_be_bytes());
         buf[8..12].copy_from_slice(&self.group.to_be_bytes());
@@ -40,6 +41,7 @@ impl PacketHeader {
             return None;
         }
         Some(PacketHeader {
+            // bounds: `data.len() >= HEADER_LEN` (12) checked just above.
             packet_index: u32::from_be_bytes(data[0..4].try_into().ok()?),
             serial: u32::from_be_bytes(data[4..8].try_into().ok()?),
             group: u32::from_be_bytes(data[8..12].try_into().ok()?),

@@ -1,0 +1,92 @@
+//! Multi-thread stress of the shared Vandermonde inverse-decode cache.
+//!
+//! The cache (`InverseCache`: `Arc<Mutex<HashMap<pattern, Arc<Matrix>>>>`,
+//! capacity 8, wholesale eviction, inversion built *outside* the lock) is the
+//! one piece of cross-thread shared state in the codec today, and exactly the
+//! shape the ROADMAP's multi-core sharding will multiply.  This test hammers
+//! it from 8 threads so ThreadSanitizer (CI `sanitizers` job) gets real
+//! concurrent coverage: more distinct index patterns than the cache holds
+//! (constant eviction + rebuild races), periodic rounds where every thread
+//! decodes the *same* pattern (insert/lookup contention on one key, shared
+//! `Arc<Matrix>` reads), and correctness asserted on every decode.
+//!
+//! Flake guard: everything is deterministic — fixed seed, fixed thread and
+//! round counts, pattern choice a pure function of `(thread, round)` — so the
+//! TSan job's wall-clock is bounded and a failure always reproduces.
+
+use std::sync::Arc;
+
+use df_rs::{ErasureCode, VandermondeCode};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 48;
+const PACKET_LEN: usize = 64;
+const SEED: u64 = 0x5EED_CAFE_0BB1_E5ED;
+
+/// Deterministic payload bytes (xorshift64*), so decode results are checkable
+/// without any RNG crate in the loop.
+fn seeded_payload(mut state: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// The k received indices thread `t` uses in round `r`: a rotating window of
+/// `(start..start+k) mod n`.  With `n - k + n` > cache capacity the cache
+/// evicts constantly, and every 4th round all threads share one window so the
+/// same key is looked up, inserted and read concurrently.
+fn pattern(t: usize, r: usize, k: usize, n: usize) -> Vec<usize> {
+    let start = if r.is_multiple_of(4) { r % n } else { (t * 5 + r) % n };
+    let mut idx: Vec<usize> = (0..k).map(|i| (start + i) % n).collect();
+    idx.sort_unstable();
+    idx
+}
+
+fn stress<C: ErasureCode + Send + Sync + 'static>(code: C, label: &str) {
+    let k = code.k();
+    let n = code.n();
+    let source: Vec<Vec<u8>> = (0..k)
+        .map(|i| seeded_payload(SEED.wrapping_add(i as u64), PACKET_LEN))
+        .collect();
+    let packets = Arc::new(code.encode(&source).unwrap());
+    let source = Arc::new(source);
+    let code = Arc::new(code);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let code = Arc::clone(&code);
+            let packets = Arc::clone(&packets);
+            let source = Arc::clone(&source);
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    let received: Vec<(usize, Vec<u8>)> = pattern(t, r, k, n)
+                        .into_iter()
+                        .map(|i| (i, packets[i].clone()))
+                        .collect();
+                    let decoded = code.decode(&received).unwrap();
+                    assert_eq!(decoded, *source, "{label}: thread {t} round {r}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn eight_threads_hammer_the_gf256_inverse_cache() {
+    stress(VandermondeCode::new(8, 16).unwrap(), "gf256 k=8 n=16");
+}
+
+#[test]
+fn eight_threads_hammer_the_gf65536_inverse_cache() {
+    // Smaller k: the GF(2^16) inversion is pricier, and this keeps the TSan
+    // run's wall-clock bounded while still racing the same cache code.
+    stress(
+        VandermondeCode::new_large(6, 12).unwrap(),
+        "gf65536 k=6 n=12",
+    );
+}

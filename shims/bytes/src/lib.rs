@@ -6,6 +6,8 @@
 //! so `clone` and `advance` are O(1) and datagram payload views never copy —
 //! the same properties the real crate guarantees.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 use std::sync::Arc;
 

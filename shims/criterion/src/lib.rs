@@ -11,6 +11,8 @@
 //! median, minimum and mean sample time per iteration are reported on stdout.
 //! No statistical outlier analysis, plots or baseline files are produced.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -3,6 +3,8 @@
 //! (panic while held) is recovered transparently, matching parking_lot's
 //! semantics of not propagating poison.
 
+#![forbid(unsafe_code)]
+
 /// A mutual-exclusion lock whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {

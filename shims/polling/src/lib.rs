@@ -20,6 +20,11 @@
 //! has no `libc` crate, and `poll` is part of every Unix libc the Rust
 //! standard library already links against.
 
+// Unsafe is confined to `mod sys` (the lone `poll(2)` FFI call, allowlisted
+// by df-lint); any unsafe operation inside an `unsafe fn` must still be an
+// explicit block with its own SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::io;
 use std::time::Duration;
 

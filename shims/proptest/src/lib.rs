@@ -18,6 +18,8 @@
 //! values (min/0/1/max) the way proptest's binary search tends to surface
 //! them.
 
+#![forbid(unsafe_code)]
+
 use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -326,6 +328,11 @@ macro_rules! proptest {
 macro_rules! __proptest_items {
     (($cfg:expr)) => {};
     (($cfg:expr) $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        // Property tests run hundreds of cases; under the Miri interpreter
+        // that is intractable, and the deterministic unit suites already
+        // cover the same code.  Ignore them wholesale under Miri (the CI
+        // `miri` job runs the plain #[test] suites instead).
+        #[cfg_attr(miri, ignore = "property-based sweep; intractable under the Miri interpreter")]
         $(#[$attr])*
         fn $name() {
             $crate::__proptest_case!{ ($cfg, stringify!($name), $body) () $($params)* }

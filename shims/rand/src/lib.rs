@@ -17,6 +17,8 @@
 //! counters.  Stream *compatibility* with upstream `rand` is explicitly a
 //! non-goal; all workspace results are calibrated against these shims.
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator: a source of uniformly distributed
 /// raw bits.
 pub trait RngCore {

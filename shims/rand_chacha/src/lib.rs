@@ -9,6 +9,8 @@
 //! are not bit-identical to upstream `rand_chacha` (nothing in the workspace
 //! depends on that — all experiments are calibrated against these shims).
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 /// ChaCha with 8 rounds, exposed as a random number generator.

@@ -16,6 +16,8 @@
 //! unit variants serialize as `"VariantName"`, struct variants as
 //! `{"VariantName": {fields...}}`.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// An in-memory JSON-like value tree.

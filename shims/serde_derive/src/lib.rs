@@ -13,6 +13,8 @@
 //! code calls `serde::Deserialize::from_value` in struct-literal position and
 //! lets inference pick the impl.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 

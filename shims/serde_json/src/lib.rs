@@ -7,6 +7,8 @@
 //! floats, booleans and null.  Non-finite floats are a serialization error,
 //! as in real serde_json.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// Serialize a value to a compact JSON string.
