@@ -12,10 +12,12 @@
 //! A row is *shared* when both reports carry it — newly added rows (or rows
 //! retired by a redesign) are reported but never gate, so the baseline file
 //! only needs updating when a PR actually records new numbers.  The compared
-//! metrics are the throughput fields: `codes.<name>.{encode,decode}_mbps`
-//! and `driver_throughput.{aggregate_mbps,sessions_per_s}`.  Latency-shaped
-//! fields (`*_s`) and the layered-efficiency section (convergence levels,
-//! not speed) are ignored.
+//! metrics are the throughput fields: `codes.<name>.{encode,decode}_mbps`,
+//! `rateless_throughput.<mode>.{encode,decode}_mbps` and
+//! `driver_throughput.{aggregate_mbps,sessions_per_s}`.  Latency-shaped
+//! fields (`*_s`), the layered-efficiency section (convergence levels, not
+//! speed) and the `rateless_overhead` rows (reception-overhead ratios) are
+//! ignored.
 //!
 //! `--self-test` proves the gate can fail: it synthesizes a report with
 //! every throughput metric halved (an injected 2× slowdown), checks the gate
@@ -61,6 +63,15 @@ fn extract_metrics(report: &Value) -> Metrics {
             for metric in ["encode_mbps", "decode_mbps"] {
                 if let Some(v) = field(row, metric).and_then(as_f64) {
                     out.insert(format!("codes.{code}.{metric}"), v);
+                }
+            }
+        }
+    }
+    if let Some(rateless) = field(report, "rateless_throughput").and_then(object) {
+        for (mode, row) in rateless {
+            for metric in ["encode_mbps", "decode_mbps"] {
+                if let Some(v) = field(row, metric).and_then(as_f64) {
+                    out.insert(format!("rateless_throughput.{mode}.{metric}"), v);
                 }
             }
         }
@@ -300,6 +311,30 @@ mod tests {
         );
         assert_eq!(m["codes.tornado_a.encode_mbps"], 500.0);
         assert_eq!(m["driver_throughput.sessions_per_s"], 800.0);
+    }
+
+    #[test]
+    fn rateless_throughput_rows_extract_but_overhead_rows_do_not() {
+        let report = r#"{
+          "pr": 8,
+          "codes": {"tornado_a": {"encode_mbps": 500.0, "decode_mbps": 250.0}},
+          "rateless_throughput": {
+            "lt": {"encode_s": 0.001, "decode_s": 0.02, "encode_mbps": 900.0, "decode_mbps": 50.0},
+            "raptor": {"encode_s": 0.002, "decode_s": 0.02, "encode_mbps": 450.0, "decode_mbps": 52.0}
+          },
+          "rateless_overhead": [{"mode": "lt", "k": 1000, "mean_overhead": 1.11}]
+        }"#;
+        let m = extract_metrics(&serde_json::parse_value_str(report).unwrap());
+        assert_eq!(m["rateless_throughput.lt.decode_mbps"], 50.0);
+        assert_eq!(m["rateless_throughput.raptor.encode_mbps"], 450.0);
+        assert!(
+            m.keys().all(|k| !k.contains("rateless_overhead")),
+            "overhead ratios are reported in the JSON but never gated: {m:?}"
+        );
+        // Against a baseline without the rows, they are unshared: reported,
+        // not gated — the committed BENCH_pr6.json keeps gating unchanged.
+        let cmp = compare(&sample_metrics(), &m, 0.30);
+        assert!(cmp.iter().all(|c| !c.metric.starts_with("rateless")));
     }
 
     #[test]

@@ -520,6 +520,52 @@ fn hostile() {
     println!(" and the client's packet-buffer cap is never hit by honest traffic)");
 }
 
+fn rateless() {
+    println!("== True rateless mode: LT / Raptor fountains vs the carousel ==");
+    println!("(seed-carrying wire serials; every datagram is a fresh symbol, so eta_d = 1.0)");
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>10} {:>12} {:>8}",
+        "mode", "k", "trials", "mean_ovh", "worst_ovh", "within_1.15", "eta_d"
+    );
+    for k in [100usize, 300, 1000] {
+        for mode in [df_proto::RatelessMode::Lt, df_proto::RatelessMode::Raptor] {
+            let r = df_sim::rateless_overhead_experiment(k, 64, mode, 20, 0xf0c5);
+            println!(
+                "{:>8} {:>8} {:>8} {:>10.4} {:>10.4} {:>12} {:>8.3}",
+                if mode == df_proto::RatelessMode::Lt {
+                    "lt"
+                } else {
+                    "raptor"
+                },
+                r.k,
+                r.trials,
+                r.mean_overhead,
+                r.worst_overhead,
+                format!("{}/{}", r.within_115, r.trials),
+                r.min_distinctness
+            );
+        }
+    }
+    println!("(overhead = received/k at completion; shrinks toward the k = 1000 acceptance");
+    println!(" point of 1.15, with Raptor's precode beating plain LT at every size)");
+    println!();
+    println!("-- Late join, 98% loss: the carousel pays duplicates, the fountain does not --");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "stream", "received", "distinct", "eta_d"
+    );
+    let o = df_sim::late_join_experiment(50_000, 500, 3, 0.98, 21);
+    for (name, r) in [("carousel", o.carousel), ("rateless", o.rateless)] {
+        println!(
+            "{:>10} {:>10} {:>10} {:>8.3}",
+            name, r.received, r.distinct, r.distinctness
+        );
+    }
+    println!("(heavy loss walks the carousel receiver across many cycles: reception becomes");
+    println!(" sampling with replacement and eta_d decays toward the 1 - 1/e ~ 0.64 floor,");
+    println!(" while the rateless stream holds eta_d = 1.0 at any join time)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
@@ -598,6 +644,10 @@ fn main() {
     }
     if run("hostile") {
         hostile();
+        println!();
+    }
+    if run("rateless") {
+        rateless();
         println!();
     }
 }

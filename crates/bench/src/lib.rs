@@ -281,6 +281,70 @@ pub fn measure_layered_efficiency() -> Vec<df_sim::LayeredOutcome> {
     df_sim::layered_population_experiment(500_000, 6, 2, 1, &[1.0, 3.0, 7.0], 42, 400)
 }
 
+/// The rateless operating point of the benchmark report: LT and Raptor
+/// sessions at the `k = 1000` acceptance point, streamed to completion over
+/// a clean channel through the real seed-carrying wire format.  The rows
+/// record reception overhead (`received/k` — the fountain's only cost, since
+/// `η_d = 1.0` by construction), not throughput, so `perf_gate` never gates
+/// them.
+pub fn measure_rateless_overhead() -> Vec<df_sim::RatelessOverheadOutcome> {
+    vec![
+        df_sim::rateless_overhead_experiment(1000, 64, df_proto::RatelessMode::Lt, 20, 0xf0c5),
+        df_sim::rateless_overhead_experiment(1000, 64, df_proto::RatelessMode::Raptor, 20, 0xf0c5),
+    ]
+}
+
+/// End-to-end rateless session throughput at the report's main operating
+/// point, one row per mode: `encode_s` is session construction (for Raptor,
+/// the Tornado precode of all `k` packets), `decode_s` the client-side
+/// stream-to-completion.  Mirrors `measure_proto_throughput` for the
+/// carousel, so the carousel-vs-fountain cost of Section 7 is one report
+/// away.
+pub fn measure_rateless_throughput(k: usize, packet_size: usize) -> Vec<ThroughputRow> {
+    use df_proto::{ClientEvent, ClientSession, RatelessMode, ServerSession, SessionConfig};
+
+    let measure = |mode: RatelessMode| -> CodingTimes {
+        let data: Vec<u8> = random_packets(k, packet_size, 0x2a7e).concat();
+        let t0 = Instant::now();
+        let mut server = ServerSession::new(
+            &data,
+            SessionConfig {
+                packet_size,
+                rateless: mode,
+                code_seed: 0x5eed,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("rateless session encodes");
+        let encode_s = t0.elapsed().as_secs_f64();
+
+        let mut client = ClientSession::new(server.control_info().clone()).expect("control info");
+        let t0 = Instant::now();
+        'outer: loop {
+            while let Some((_group, dgram)) = server.poll_transmit() {
+                if client.handle_datagram(dgram) == ClientEvent::Complete {
+                    break 'outer;
+                }
+            }
+            server.advance_round();
+        }
+        let decode_s = t0.elapsed().as_secs_f64();
+        assert_eq!(client.file().expect("complete"), &data[..]);
+        CodingTimes { encode_s, decode_s }
+    };
+    let file_mb = (k * packet_size) as f64 / 1e6;
+    let row = |code: &'static str, times: CodingTimes| ThroughputRow {
+        code,
+        times,
+        encode_mbps: file_mb / times.encode_s,
+        decode_mbps: file_mb / times.decode_s,
+    };
+    vec![
+        row("lt", best_of(3, || measure(RatelessMode::Lt))),
+        row("raptor", best_of(3, || measure(RatelessMode::Raptor))),
+    ]
+}
+
 /// The hostile-channel robustness point of the benchmark report: the
 /// Gilbert–Elliott sweep (bursty loss up to a 50 % bad state, plus
 /// reordering, duplication and jitter) through the real client stack.  The
@@ -350,6 +414,44 @@ pub fn bench_json_report(pr: u32, k: usize, packet_size: usize) -> String {
             r.reception_efficiency(),
             r.distinctness_efficiency(),
             if i + 1 < layered.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // True rateless mode: session throughput per mode (gated once a
+    // baseline carries the rows; against older baselines perf_gate reports
+    // them un-gated) and the k = 1000 reception-overhead acceptance rows.
+    let rateless = measure_rateless_throughput(k, packet_size);
+    out.push_str("  \"rateless_throughput\": {\n");
+    for (i, r) in rateless.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"encode_s\": {:.6}, \"decode_s\": {:.6}, \"encode_mbps\": {:.2}, \"decode_mbps\": {:.2}}}{}\n",
+            r.code,
+            r.times.encode_s,
+            r.times.decode_s,
+            r.encode_mbps,
+            r.decode_mbps,
+            if i + 1 < rateless.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    let overhead = measure_rateless_overhead();
+    out.push_str("  \"rateless_overhead\": [\n");
+    for (i, r) in overhead.iter().enumerate() {
+        let mode = match r.mode {
+            df_proto::RatelessMode::Lt => "lt",
+            df_proto::RatelessMode::Raptor => "raptor",
+            df_proto::RatelessMode::Off => "off",
+        };
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"k\": {}, \"trials\": {}, \"mean_overhead\": {:.4}, \"worst_overhead\": {:.4}, \"within_1_15\": {}, \"min_distinctness\": {:.4}}}{}\n",
+            mode,
+            r.k,
+            r.trials,
+            r.mean_overhead,
+            r.worst_overhead,
+            r.within_115,
+            r.min_distinctness,
+            if i + 1 < overhead.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");

@@ -1,0 +1,925 @@
+//! The LT (Luby Transform) layer: a seed-addressed rateless encoder and the
+//! streaming peeling decoder that consumes its symbols.
+//!
+//! The central contract is **seed → equation determinism**: a 64-bit symbol
+//! seed, run through a seeded [`ChaCha8Rng`], yields the same
+//! `(degree, neighbor set)` on the encoder and on every decoder.  A sender
+//! therefore never transmits equation structure — the wire carries only the
+//! seed (in `df-proto`, packed into the 12-byte header's
+//! `packet_index:serial` words) and the XOR payload.  Because the derivation
+//! uses only integer PRNG output and CDF table lookups, it is bit-identical
+//! across the GF kernel tiers (`DF_GF_FORCE_TIER` does not touch it).
+//!
+//! The decoder is the same peeling idea as [`crate::PeelingDecoder`], adapted
+//! from a fixed bipartite graph to an unbounded stream of equations: each
+//! arriving symbol is reduced against already-known source symbols, released
+//! immediately if one unknown remains, or parked as a pending equation
+//! indexed by its unknowns.  Every recovered symbol propagates through the
+//! pending set worklist-style, exactly like `decode.rs` propagates through
+//! cascade checks.
+//!
+//! Hostile-input posture: a forged seed cannot construct an invalid
+//! equation — the degree is sampled from the shared distribution and clamped
+//! to `1..=count`, and neighbors are distinct by construction — so the worst
+//! a flood of fresh seeds can do is grow the pending set.  The decoder
+//! exposes [`LtDecoder::pending_equations`] and [`LtDecoder::pending_edges`]
+//! so the protocol layer can bound that growth (see
+//! `df-proto`'s rateless receive path).
+
+use crate::decode::AddOutcome;
+use crate::error::{Result, TornadoError};
+use crate::rateless::soliton::{DegreeTable, RobustSoliton};
+use crate::symbol::Symbol;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Largest number of still-unknown source symbols the decoder will hand to
+/// the inactivation finisher.
+///
+/// Robust-soliton peeling at moderate `k` completes in a phase transition:
+/// recovery sits near zero (a few percent, from short degree-1 chains) until
+/// a critical reception count, then one arrival avalanches essentially every
+/// symbol at once — and the transition point has a fat upper tail (at
+/// `k = 1000` roughly a quarter of decodes need more than `1.15·k` symbols).
+/// The finisher removes that tail: once the reception count passes the
+/// engagement point (see [`LtDecoder::add_symbol`]) it solves the buffered
+/// equations directly by GF(2) Gaussian elimination — each row is a bitmask
+/// over the missing symbols, so a *failed* attempt costs only integer work
+/// and payloads are only XOR-combined once some unknowns are provably
+/// determined.  This is "inactivation decoding" as in the Raptor standards
+/// (RFC 5053 §5.5).
+///
+/// Because the transition leaves nearly all of `k` unknown, the elimination
+/// is cubic-ish in `k` (`O(missing² · pending / 64)` bit operations) and the
+/// cap bounds that cost: at `k ≤ 2048` one attempt is a few milliseconds;
+/// beyond the cap the decoder stays purely linear-time peeling, which is the
+/// right trade anyway — the soliton transition *concentrates* as `k` grows,
+/// so large-`k` decodes do not need rescuing.
+pub const INACTIVATION_CAP: usize = 2048;
+
+/// Arrivals to wait before re-running a failed (rank-deficient) elimination.
+const FINISHER_BACKOFF: u64 = 8;
+
+fn mask_set(m: &mut [u64], bit: usize) {
+    m[bit / 64] |= 1u64 << (bit % 64);
+}
+
+fn mask_xor(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+fn mask_lowest(m: &[u64]) -> Option<usize> {
+    m.iter()
+        .enumerate()
+        .find(|(_, &w)| w != 0)
+        .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+}
+
+fn mask_popcount(m: &[u64]) -> usize {
+    m.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+fn mask_next_set(m: &[u64], from: usize) -> Option<usize> {
+    let mut w = from / 64;
+    if w >= m.len() {
+        return None;
+    }
+    let mut word = m[w] & (!0u64 << (from % 64));
+    loop {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w >= m.len() {
+            return None;
+        }
+        word = m[w];
+    }
+}
+
+/// One LT equation: the encoded symbol is the XOR of the source symbols at
+/// `neighbors`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtEquation {
+    /// Neighbor indices into the source symbol array — distinct, in the
+    /// deterministic order the seeded derivation produced them.
+    pub neighbors: Vec<u32>,
+}
+
+impl LtEquation {
+    /// Equation degree (number of neighbors, always `1..=count`).
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// The degree distribution an [`LtEncoder`] samples — part of the wire
+/// contract (both ends must construct the identical distribution for the
+/// seed → equation derivation to agree).
+#[derive(Debug, Clone)]
+enum LtDist {
+    /// Robust soliton — plain-LT sessions (full recovery by peeling).
+    Soliton(Arc<RobustSoliton>),
+    /// Fixed table — Raptor's LT layer (partial recovery, precode repairs).
+    Table(Arc<DegreeTable>),
+}
+
+impl LtDist {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self {
+            LtDist::Soliton(s) => s.sample(rng),
+            LtDist::Table(t) => t.sample(rng),
+        }
+    }
+}
+
+/// Seed-addressed LT encoder over `count` source symbols.
+///
+/// Cheap to clone (the CDF table is shared); the decoder embeds one to run
+/// the identical seed → equation derivation.
+#[derive(Debug, Clone)]
+pub struct LtEncoder {
+    count: usize,
+    stream_seed: u64,
+    dist: LtDist,
+}
+
+impl LtEncoder {
+    /// Build an encoder over `count` symbols with a [`RobustSoliton`]
+    /// distribution parameterised by `c` and `delta`.
+    ///
+    /// `stream_seed` (the session's `code_seed` in the protocol) is folded
+    /// into every symbol-seed derivation so two sessions with different code
+    /// seeds produce unrelated equations for the same wire serial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RobustSoliton::new`] parameter validation.
+    pub fn new(count: usize, c: f64, delta: f64, stream_seed: u64) -> Result<Self> {
+        Ok(LtEncoder::with_distribution(
+            RobustSoliton::new(count, c, delta)?,
+            stream_seed,
+        ))
+    }
+
+    /// Build an encoder from an explicit robust-soliton distribution.
+    pub fn with_distribution(soliton: RobustSoliton, stream_seed: u64) -> Self {
+        LtEncoder {
+            count: soliton.k(),
+            stream_seed,
+            dist: LtDist::Soliton(Arc::new(soliton)),
+        }
+    }
+
+    /// Build an encoder over `count` symbols sampling a fixed
+    /// [`DegreeTable`] — the Raptor LT layer's shape, where a constant mean
+    /// degree and a smooth recovery curve matter more than full coverage.
+    ///
+    /// Degrees above `count` are clamped during derivation, so a table is
+    /// usable for any `count ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TornadoError::InvalidParameters`] if `count == 0`.
+    pub fn with_table(count: usize, table: DegreeTable, stream_seed: u64) -> Result<Self> {
+        if count == 0 {
+            return Err(TornadoError::InvalidParameters {
+                reason: "LT encoder needs at least one symbol".to_string(),
+            });
+        }
+        Ok(LtEncoder {
+            count,
+            stream_seed,
+            dist: LtDist::Table(Arc::new(table)),
+        })
+    }
+
+    /// Number of source symbols the encoder combines.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The robust-soliton distribution, when this encoder samples one
+    /// (`None` for fixed-table encoders).
+    pub fn soliton(&self) -> Option<&RobustSoliton> {
+        match &self.dist {
+            LtDist::Soliton(s) => Some(s),
+            LtDist::Table(_) => None,
+        }
+    }
+
+    /// The stream seed folded into every equation derivation.
+    pub fn stream_seed(&self) -> u64 {
+        self.stream_seed
+    }
+
+    /// Derive the equation for `seed` — deterministic, total over all 2^64
+    /// seeds, and identical on encoder and decoder.
+    ///
+    /// The degree is drawn from the robust soliton and clamped to
+    /// `1..=count`; neighbors are sampled distinct (rejection sampling for
+    /// sparse equations, partial Fisher–Yates once the degree is a
+    /// substantial fraction of `count`, chosen deterministically from the
+    /// degree alone).
+    pub fn equation(&self, seed: u64) -> LtEquation {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ self.stream_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let degree = self.dist.sample(&mut rng).clamp(1, self.count);
+        let neighbors = if degree * 8 >= self.count {
+            // Dense equation: partial Fisher–Yates shuffle, O(count).
+            let mut pool: Vec<u32> = (0..self.count as u32).collect();
+            for i in 0..degree {
+                let j = rng.gen_range(i..self.count);
+                pool.swap(i, j);
+            }
+            pool.truncate(degree);
+            pool
+        } else {
+            // Sparse equation: rejection-sample distinct indices.
+            let mut picked: Vec<u32> = Vec::with_capacity(degree);
+            while picked.len() < degree {
+                let idx = rng.gen_range(0..self.count) as u32;
+                if !picked.contains(&idx) {
+                    picked.push(idx);
+                }
+            }
+            picked
+        };
+        LtEquation { neighbors }
+    }
+
+    /// Encode one symbol: XOR together the neighbors of `seed`'s equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TornadoError::MalformedInput`] if `symbols.len() != count`.
+    /// All symbols must share one length (payload XOR requires it).
+    pub fn encode_symbol<S: Symbol>(&self, seed: u64, symbols: &[S]) -> Result<S> {
+        if symbols.len() != self.count {
+            return Err(TornadoError::MalformedInput {
+                reason: format!(
+                    "LT encoder over {} symbols was given {}",
+                    self.count,
+                    symbols.len()
+                ),
+            });
+        }
+        let eq = self.equation(seed);
+        // Degree ≥ 1 by construction, so `first` always exists and the
+        // accumulator starts from a real neighbor.
+        let mut iter = eq.neighbors.iter().map(|&i| &symbols[i as usize]);
+        let first = iter.next().ok_or_else(|| TornadoError::MalformedInput {
+            reason: "LT equation with no neighbors".to_string(),
+        })?;
+        let mut acc = first.clone();
+        for s in iter {
+            acc.xor(s);
+        }
+        Ok(acc)
+    }
+}
+
+/// A pending (not yet releasable) equation held by the decoder.
+#[derive(Debug, Clone)]
+struct PendingEq<S> {
+    /// Neighbor indices still unknown, in no particular order.
+    unknowns: Vec<u32>,
+    /// Payload XOR-reduced by every already-known neighbor.
+    acc: S,
+}
+
+/// Streaming LT decoder: accepts an unbounded stream of `(seed, payload)`
+/// symbols and peels source symbols out as equations release.
+///
+/// Memory model: recovered symbols are `O(count)`; buffered equations are
+/// whatever the caller admits — check [`LtDecoder::pending_equations`] /
+/// [`LtDecoder::pending_edges`] *before* feeding a symbol to enforce a cap
+/// (the protocol layer rejects above `buffer_cap`, mirroring the carousel
+/// hardening).  Duplicate detection covers currently-pending seeds exactly;
+/// a seed whose equation was already consumed re-reduces to nothing and is
+/// absorbed without growing state.
+#[derive(Debug, Clone)]
+pub struct LtDecoder<S: Symbol> {
+    encoder: LtEncoder,
+    known: Vec<Option<S>>,
+    known_count: usize,
+    pending: HashMap<u64, PendingEq<S>>,
+    pending_edges: usize,
+    /// symbol index → seeds of pending equations that list it as unknown.
+    /// Entries go stale when an equation resolves through another symbol;
+    /// stale seeds are skipped (and dropped) on the next lookup.
+    by_symbol: Vec<Vec<u64>>,
+    /// Recovered indices not yet handed to the caller via
+    /// [`LtDecoder::drain_recovered`].
+    newly: Vec<u32>,
+    received_total: u64,
+    received_distinct: u64,
+    /// Distinct-reception count before which the finisher will not re-run
+    /// after a rank-deficient attempt (each new equation typically adds one
+    /// rank, so retrying every arrival would repeat the same near-miss).
+    next_finisher_attempt: u64,
+    /// Distinct-reception threshold at which the finisher engages.
+    /// Defaults to `count + count/8` (peeling-first); Raptor lowers it to
+    /// `count` via [`LtDecoder::engage_finisher_eagerly`].
+    finisher_gate: usize,
+}
+
+impl<S: Symbol> LtDecoder<S> {
+    /// Build a decoder sharing `encoder`'s seed → equation derivation.
+    pub fn new(encoder: LtEncoder) -> Self {
+        let count = encoder.count();
+        LtDecoder {
+            encoder,
+            known: vec![None; count],
+            known_count: 0,
+            pending: HashMap::new(),
+            pending_edges: 0,
+            by_symbol: vec![Vec::new(); count],
+            newly: Vec::new(),
+            received_total: 0,
+            received_distinct: 0,
+            next_finisher_attempt: 0,
+            finisher_gate: count + count / 8,
+        }
+    }
+
+    /// Engage the inactivation finisher as soon as reception reaches the
+    /// symbol count itself, rather than waiting out the peeling transition.
+    ///
+    /// This is how [`crate::RaptorDecoder`] runs its LT layer: standard
+    /// Raptor decoding is elimination-led ("inactivation decoding",
+    /// RFC 5053 §5.5) — the precode repairs whatever the elimination leaves
+    /// undetermined, so there is no reason to wait for the soliton avalanche
+    /// plain LT needs.
+    pub fn engage_finisher_eagerly(&mut self) {
+        self.finisher_gate = self.count();
+    }
+
+    /// Number of source symbols.
+    pub fn count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// The shared encoder (seed → equation derivation).
+    pub fn encoder(&self) -> &LtEncoder {
+        &self.encoder
+    }
+
+    /// Number of source symbols recovered so far.
+    pub fn known(&self) -> usize {
+        self.known_count
+    }
+
+    /// True once every source symbol is recovered.
+    pub fn is_complete(&self) -> bool {
+        self.known_count == self.known.len()
+    }
+
+    /// Symbols accepted, including duplicates.
+    pub fn received_total(&self) -> u64 {
+        self.received_total
+    }
+
+    /// Symbols accepted whose seed was not pending at arrival (exact for
+    /// honest never-repeating streams).
+    pub fn received_distinct(&self) -> u64 {
+        self.received_distinct
+    }
+
+    /// Equations currently buffered (received but not yet released).
+    pub fn pending_equations(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total unknown-neighbor references across buffered equations — the
+    /// decoder's true `O(memory)` term, bounded by the caller's admission cap.
+    pub fn pending_edges(&self) -> usize {
+        self.pending_edges
+    }
+
+    /// The recovered symbol at `index`, if known.
+    pub fn symbol(&self, index: usize) -> Option<&S> {
+        self.known.get(index).and_then(|s| s.as_ref())
+    }
+
+    /// Indices recovered since the last drain (in recovery order).
+    pub fn drain_recovered(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.newly)
+    }
+
+    /// All source symbols, once complete.
+    pub fn source(&self) -> Option<Vec<S>> {
+        if !self.is_complete() {
+            return None;
+        }
+        Some(self.known.iter().filter_map(|s| s.clone()).collect())
+    }
+
+    /// Accept one `(seed, payload)` symbol.
+    ///
+    /// Returns [`AddOutcome::Duplicate`] if `seed` matches a buffered
+    /// equation (or decoding already finished), [`AddOutcome::Complete`] when
+    /// this symbol finishes decoding, [`AddOutcome::Accepted`] otherwise.
+    ///
+    /// All payloads must share one length; the protocol layer enforces this
+    /// before the symbol reaches the decoder (mixed lengths would make the
+    /// XOR reduction meaningless).
+    pub fn add_symbol(&mut self, seed: u64, value: S) -> AddOutcome {
+        self.received_total += 1;
+        if self.is_complete() {
+            return AddOutcome::Duplicate;
+        }
+        if self.pending.contains_key(&seed) {
+            return AddOutcome::Duplicate;
+        }
+        self.received_distinct += 1;
+
+        let eq = self.encoder.equation(seed);
+        let mut acc = value;
+        let mut unknowns: Vec<u32> = Vec::new();
+        for &idx in &eq.neighbors {
+            match &self.known[idx as usize] {
+                Some(k) => acc.xor(k),
+                None => unknowns.push(idx),
+            }
+        }
+        match unknowns.len() {
+            // Every neighbor already known: the equation carries no new
+            // information; absorb it without growing state.
+            0 => {}
+            1 => {
+                let idx = unknowns[0];
+                self.resolve(idx, acc);
+            }
+            _ => {
+                for &idx in &unknowns {
+                    self.by_symbol[idx as usize].push(seed);
+                }
+                self.pending_edges += unknowns.len();
+                self.pending.insert(seed, PendingEq { unknowns, acc });
+            }
+        }
+        if !self.is_complete()
+            && self.finisher_engaged()
+            && self.received_distinct >= self.next_finisher_attempt
+        {
+            self.try_inactivation();
+        }
+        if self.is_complete() {
+            AddOutcome::Complete
+        } else {
+            AddOutcome::Accepted
+        }
+    }
+
+    /// Whether the inactivation finisher may run yet.
+    ///
+    /// Plain-LT decoders defer engagement until reception passes
+    /// `count + count/8` symbols — past the robust soliton's expected peeling
+    /// transition (`β·k` plus finite-k margin) — so the linear-time peeling
+    /// path settles the typical decode and elimination only rescues
+    /// transition-tail trials.  Raptor decoders lower the gate to `count`
+    /// ([`LtDecoder::engage_finisher_eagerly`]): their completion is
+    /// elimination-led by design.
+    fn finisher_engaged(&self) -> bool {
+        self.received_distinct as usize >= self.finisher_gate
+    }
+
+    /// Bounded-inactivation finisher: once at most [`INACTIVATION_CAP`]
+    /// source symbols remain unknown, solve the buffered equations directly
+    /// by GF(2) elimination instead of waiting for the peeling ripple to
+    /// reach them.
+    ///
+    /// Every buffered equation's unknowns are a subset of the missing set
+    /// (peeling reduces eagerly), so each equation is one bitmask row over
+    /// the missing columns.  The elimination runs to *reduced* row-echelon
+    /// form and commits every unknown that is uniquely determined — a pivot
+    /// row whose only remaining bit is its own column — even when the system
+    /// as a whole is rank-deficient.  Partial commits are what make the
+    /// Raptor path work: a fixed-degree-table LT layer always leaves a few
+    /// intermediates uncovered by every received equation, and the precode
+    /// repairs exactly those, so demanding full rank would wait forever.
+    ///
+    /// A mask-only pass runs first; payloads are cloned and XOR-combined
+    /// only when at least one unknown is provably determined, so a failed
+    /// attempt costs integer work and no payload traffic.
+    fn try_inactivation(&mut self) -> bool {
+        let missing_count = self.known.len() - self.known_count;
+        if missing_count == 0 || missing_count > INACTIVATION_CAP {
+            return false;
+        }
+        // Even a partial solve needs roughly as many independent equations
+        // as unknowns (the slack covers uncovered columns); skip the attempt
+        // cheaply when the buffer cannot possibly deliver that.
+        if self.pending.len() + 64 < missing_count {
+            return false;
+        }
+        let missing: Vec<u32> = (0..self.known.len() as u32)
+            .filter(|&i| self.known[i as usize].is_none())
+            .collect();
+        let words = missing_count.div_ceil(64);
+        let col_of = |idx: u32| -> usize {
+            // `missing` is sorted ascending by construction; every pending
+            // unknown is in it (peeling keeps equations reduced).
+            missing.partition_point(|&m| m < idx)
+        };
+        let row_of = |unknowns: &[u32]| -> Vec<u64> {
+            let mut mask = vec![0u64; words];
+            for &idx in unknowns {
+                mask_set(&mut mask, col_of(idx));
+            }
+            mask
+        };
+        // Rows beyond this many cannot be needed for a solve; any solution
+        // derived from a subset of the (consistent) equations is valid, so
+        // truncating a flood-sized buffer only defers, never corrupts.
+        let row_cap = missing_count + 512;
+
+        // Pass 1: masks only.  Forward-eliminate into one pivot row per
+        // column, then reduce to RREF from the highest pivot down (every
+        // higher pivot a row references is already fully reduced — a single
+        // bit plus free columns — when it is folded in).  Bail without
+        // touching payloads unless some unknown came out determined.
+        let mut pivot_mask: Vec<Option<Vec<u64>>> = vec![None; missing_count];
+        let mut rank = 0usize;
+        for eq in self.pending.values().take(row_cap) {
+            let mut mask = row_of(&eq.unknowns);
+            while let Some(c) = mask_lowest(&mask) {
+                match &pivot_mask[c] {
+                    Some(pm) => mask_xor(&mut mask, pm),
+                    None => {
+                        pivot_mask[c] = Some(mask);
+                        rank += 1;
+                        break;
+                    }
+                }
+            }
+            if rank == missing_count {
+                break;
+            }
+        }
+        let mut determined = 0usize;
+        for c in (0..missing_count).rev() {
+            let Some(mut mask) = pivot_mask[c].take() else {
+                continue;
+            };
+            let mut h = c;
+            while let Some(b) = mask_next_set(&mask, h + 1) {
+                if let Some(pm) = &pivot_mask[b] {
+                    // Folding in row `b` clears bit `b` and can only set
+                    // free (pivotless) bits above it, so the ascending scan
+                    // terminates.
+                    mask_xor(&mut mask, pm);
+                }
+                h = b;
+            }
+            if mask_popcount(&mask) == 1 {
+                determined += 1;
+            }
+            pivot_mask[c] = Some(mask);
+        }
+        if determined == 0 {
+            self.next_finisher_attempt = self.received_distinct + FINISHER_BACKOFF;
+            return false;
+        }
+
+        // Pass 2: repeat the identical elimination carrying payloads — the
+        // pending map was not touched, so iteration order and hence the
+        // pivot structure match pass 1 exactly — then commit every
+        // single-bit row through the ordinary peeling propagation (which
+        // also re-reduces the surviving pending equations).
+        let mut pivots: Vec<Option<(Vec<u64>, S)>> = (0..missing_count).map(|_| None).collect();
+        let mut placed = 0usize;
+        for eq in self.pending.values().take(row_cap) {
+            let mut mask = row_of(&eq.unknowns);
+            let mut acc = eq.acc.clone();
+            while let Some(c) = mask_lowest(&mask) {
+                match &pivots[c] {
+                    Some((pm, pa)) => {
+                        mask_xor(&mut mask, pm);
+                        acc.xor(pa);
+                    }
+                    None => {
+                        pivots[c] = Some((mask, acc));
+                        placed += 1;
+                        break;
+                    }
+                }
+            }
+            if placed == rank {
+                break;
+            }
+        }
+        let mut recovered: Vec<(u32, S)> = Vec::with_capacity(determined);
+        for c in (0..missing_count).rev() {
+            let Some((mut mask, mut acc)) = pivots[c].take() else {
+                continue;
+            };
+            let mut h = c;
+            while let Some(b) = mask_next_set(&mask, h + 1) {
+                if let Some((pm, pa)) = &pivots[b] {
+                    mask_xor(&mut mask, pm);
+                    acc.xor(pa);
+                }
+                h = b;
+            }
+            if mask_popcount(&mask) == 1 {
+                recovered.push((missing[c], acc.clone()));
+            }
+            pivots[c] = Some((mask, acc));
+        }
+        if recovered.is_empty() {
+            // Unreachable given pass 1, but degrade gracefully.
+            self.next_finisher_attempt = self.received_distinct + FINISHER_BACKOFF;
+            return false;
+        }
+        for (idx, value) in recovered {
+            self.resolve(idx, value);
+        }
+        true
+    }
+
+    /// Worklist propagation: record `idx = value`, then reduce every pending
+    /// equation that listed `idx`, releasing any that reach one unknown —
+    /// the streaming analogue of `PeelingDecoder::propagate`.
+    fn resolve(&mut self, idx: u32, value: S) {
+        let mut worklist = vec![(idx, value)];
+        while let Some((idx, value)) = worklist.pop() {
+            let slot = &mut self.known[idx as usize];
+            if slot.is_some() {
+                // Recovered along two paths (e.g. two equations released on
+                // the same symbol in one cascade); first value wins.
+                continue;
+            }
+            *slot = Some(value);
+            self.known_count += 1;
+            self.newly.push(idx);
+
+            for seed in std::mem::take(&mut self.by_symbol[idx as usize]) {
+                let Entry::Occupied(mut entry) = self.pending.entry(seed) else {
+                    continue; // stale reference to an already-released equation
+                };
+                let eq = entry.get_mut();
+                let Some(pos) = eq.unknowns.iter().position(|&u| u == idx) else {
+                    continue;
+                };
+                eq.unknowns.swap_remove(pos);
+                self.pending_edges -= 1;
+                // The freshly-set slot always holds a value here.
+                if let Some(known) = &self.known[idx as usize] {
+                    eq.acc.xor(known);
+                }
+                if eq.unknowns.len() == 1 {
+                    let eq = entry.remove();
+                    self.pending_edges -= 1;
+                    worklist.push((eq.unknowns[0], eq.acc));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Mark;
+    use rand::RngCore;
+
+    fn payloads(count: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let mut p = vec![0u8; len];
+                rng.fill_bytes(&mut p);
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equation_derivation_is_deterministic_and_valid() {
+        let enc = LtEncoder::new(257, 0.03, 0.5, 99).unwrap();
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_0BAD_F00D] {
+            let a = enc.equation(seed);
+            let b = enc.equation(seed);
+            assert_eq!(a, b);
+            assert!((1..=257).contains(&a.degree()));
+            let mut sorted = a.neighbors.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), a.degree(), "neighbors must be distinct");
+            assert!(sorted.iter().all(|&i| i < 257));
+        }
+    }
+
+    #[test]
+    fn different_stream_seeds_decorrelate_equations() {
+        let a = LtEncoder::new(100, 0.03, 0.5, 1).unwrap();
+        let b = LtEncoder::new(100, 0.03, 0.5, 2).unwrap();
+        let same = (0..64u64)
+            .filter(|&s| a.equation(s) == b.equation(s))
+            .count();
+        assert!(same < 8, "{same} of 64 equations collided across streams");
+    }
+
+    // Pinned by running the derivation once at PR 8 time; see the test below.
+    const GOLDEN_0: &[u32] = &[3, 4, 0, 7];
+    const GOLDEN_1: &[u32] = &[8, 1, 14, 0, 5, 15, 3, 11, 10, 7, 13, 12];
+    const GOLDEN_2: &[u32] = &[15, 10];
+    const GOLDEN_3: &[u32] = &[10, 0];
+
+    #[test]
+    fn golden_equations_pin_the_wire_contract() {
+        // These exact neighbor sets are what PR 8 shipped; any drift here is
+        // a wire-format break (receivers derive equations from serials
+        // alone).  The derivation is pure ChaCha8 + CDF lookup, so it must
+        // also be identical under every `DF_GF_FORCE_TIER` kernel tier.
+        let enc = LtEncoder::new(16, 0.03, 0.5, 0).unwrap();
+        let got: Vec<Vec<u32>> = (0..4u64).map(|s| enc.equation(s).neighbors).collect();
+        let expect: Vec<Vec<u32>> = vec![
+            GOLDEN_0.to_vec(),
+            GOLDEN_1.to_vec(),
+            GOLDEN_2.to_vec(),
+            GOLDEN_3.to_vec(),
+        ];
+        assert_eq!(got, expect);
+        // And re-deriving through a *fresh* encoder built from the same
+        // parameters gives the same equations (decoder-side reconstruction).
+        let dec_side = LtEncoder::new(16, 0.03, 0.5, 0).unwrap();
+        for s in 0..32u64 {
+            assert_eq!(enc.equation(s), dec_side.equation(s));
+        }
+    }
+
+    #[test]
+    fn round_trips_payloads_at_small_k() {
+        let k = 40;
+        let src = payloads(k, 64, 5);
+        let enc = LtEncoder::new(k, 0.03, 0.5, 5).unwrap();
+        let mut dec = LtDecoder::new(enc.clone());
+        let mut seed = 0u64;
+        while !dec.is_complete() {
+            let sym = enc.encode_symbol(seed, &src).unwrap();
+            dec.add_symbol(seed, sym);
+            seed += 1;
+            assert!(seed < 10 * k as u64, "decode did not converge");
+        }
+        assert_eq!(dec.source().unwrap(), src);
+    }
+
+    #[test]
+    fn duplicates_are_flagged_and_harmless() {
+        let k = 30;
+        let src = payloads(k, 16, 9);
+        let enc = LtEncoder::new(k, 0.03, 0.5, 9).unwrap();
+        let mut dec = LtDecoder::new(enc.clone());
+        // Find a seed whose equation has degree > 2 so it stays pending.
+        let seed = (0..1000u64)
+            .find(|&s| enc.equation(s).degree() > 2)
+            .unwrap();
+        let sym = enc.encode_symbol(seed, &src).unwrap();
+        assert_eq!(dec.add_symbol(seed, sym.clone()), AddOutcome::Accepted);
+        assert_eq!(dec.add_symbol(seed, sym), AddOutcome::Duplicate);
+        assert_eq!(dec.received_total(), 2);
+        assert_eq!(dec.received_distinct(), 1);
+        assert_eq!(dec.pending_equations(), 1);
+    }
+
+    #[test]
+    fn symbolic_and_payload_decoders_agree_on_the_schedule() {
+        let k = 64;
+        let src = payloads(k, 8, 3);
+        let enc = LtEncoder::new(k, 0.05, 0.5, 3).unwrap();
+        let mut payload = LtDecoder::<Vec<u8>>::new(enc.clone());
+        let mut marks = LtDecoder::<Mark>::new(enc.clone());
+        let mut seed = 0u64;
+        while !payload.is_complete() {
+            let sym = enc.encode_symbol(seed, &src).unwrap();
+            let a = payload.add_symbol(seed, sym);
+            let b = marks.add_symbol(seed, Mark);
+            assert_eq!(a, b, "schedules diverged at seed {seed}");
+            assert_eq!(payload.known(), marks.known());
+            seed += 1;
+            assert!(seed < 20 * k as u64, "decode did not converge");
+        }
+        assert!(marks.is_complete());
+        assert_eq!(payload.source().unwrap(), src);
+    }
+
+    #[test]
+    fn pending_edge_accounting_balances() {
+        let k = 50;
+        let src = payloads(k, 8, 11);
+        let enc = LtEncoder::new(k, 0.03, 0.5, 11).unwrap();
+        let mut dec = LtDecoder::new(enc.clone());
+        for seed in 0..(3 * k as u64) {
+            let sym = enc.encode_symbol(seed, &src).unwrap();
+            dec.add_symbol(seed, sym);
+            // The edge counter must equal the sum of unknowns across pending
+            // equations at every step.
+            assert_eq!(
+                dec.pending_edges(),
+                dec.pending
+                    .values()
+                    .map(|e| e.unknowns.len())
+                    .sum::<usize>()
+            );
+            if dec.is_complete() {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+    }
+
+    #[test]
+    fn inactivation_finisher_solves_peeling_stalls() {
+        let k = 3;
+        let src = payloads(k, 8, 21);
+        let enc = LtEncoder::new(k, 0.03, 0.5, 21).unwrap();
+        let find = |want: &[u32]| {
+            (0..200_000u64)
+                .find(|&s| {
+                    let mut n = enc.equation(s).neighbors.clone();
+                    n.sort_unstable();
+                    n == want
+                })
+                .expect("seed with target equation")
+        };
+        let s01 = find(&[0, 1]);
+        let s12 = find(&[1, 2]);
+        let s012 = find(&[0, 1, 2]);
+        let mut dec = LtDecoder::new(enc.clone());
+        let a = dec.add_symbol(s01, enc.encode_symbol(s01, &src).unwrap());
+        assert_eq!(a, AddOutcome::Accepted);
+        let b = dec.add_symbol(s12, enc.encode_symbol(s12, &src).unwrap());
+        assert_eq!(b, AddOutcome::Accepted);
+        assert_eq!(dec.known(), 0, "no degree-1 equation arrived yet");
+        // No degree-1 equation ever arrives, so pure peeling would stall
+        // forever on this stream.  The third (independent) equation gives the
+        // bounded-inactivation finisher a full-rank 3x3 GF(2) system.
+        let c = dec.add_symbol(s012, enc.encode_symbol(s012, &src).unwrap());
+        assert_eq!(c, AddOutcome::Complete);
+        assert_eq!(dec.source().unwrap(), src);
+        assert_eq!(dec.pending_equations(), 0);
+        assert_eq!(dec.pending_edges(), 0);
+    }
+
+    #[test]
+    fn eager_finisher_commits_determined_unknowns_at_deficient_rank() {
+        // Raptor's regime: one symbol (here index 2) is covered by no
+        // received equation, so the system can never reach full rank — but
+        // the other unknowns are still uniquely determined and must be
+        // committed.  Equations [0,1] and [0,1,3] leave {0,1} entangled;
+        // adding [1,3] determines everything except the uncovered 2.
+        let k = 4;
+        let src = payloads(k, 8, 33);
+        let enc = LtEncoder::new(k, 0.03, 0.5, 33).unwrap();
+        let find = |want: &[u32]| {
+            (0..400_000u64)
+                .find(|&s| {
+                    let mut n = enc.equation(s).neighbors.clone();
+                    n.sort_unstable();
+                    n == want
+                })
+                .expect("seed with target equation")
+        };
+        let s01 = find(&[0, 1]);
+        let s013 = find(&[0, 1, 3]);
+        let s13 = find(&[1, 3]);
+        // A second, independent seed with the same [0,1] equation: linearly
+        // redundant, but it lifts distinct reception to the eager gate
+        // (`count`) so the finisher may run.
+        let s01b = ((s01 + 1)..400_000u64)
+            .find(|&s| {
+                let mut n = enc.equation(s).neighbors.clone();
+                n.sort_unstable();
+                n == [0, 1]
+            })
+            .expect("second seed with [0,1]");
+        let mut dec = LtDecoder::new(enc.clone());
+        dec.engage_finisher_eagerly();
+        dec.add_symbol(s01, enc.encode_symbol(s01, &src).unwrap());
+        dec.add_symbol(s013, enc.encode_symbol(s013, &src).unwrap());
+        dec.add_symbol(s13, enc.encode_symbol(s13, &src).unwrap());
+        assert_eq!(dec.known(), 0, "below the eager gate nothing eliminates");
+        dec.add_symbol(s01b, enc.encode_symbol(s01b, &src).unwrap());
+        assert_eq!(dec.known(), 3, "all covered unknowns must commit");
+        for idx in [0usize, 1, 3] {
+            assert_eq!(dec.symbol(idx), Some(&src[idx]));
+        }
+        assert_eq!(dec.symbol(2), None, "uncovered symbol stays unknown");
+        assert!(!dec.is_complete());
+    }
+
+    #[test]
+    fn encode_rejects_wrong_symbol_count() {
+        let enc = LtEncoder::new(10, 0.03, 0.5, 0).unwrap();
+        let src = payloads(9, 8, 0);
+        assert!(enc.encode_symbol(0, &src).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! The robust soliton degree distribution that drives LT encoding.
+//!
+//! Luby's ideal soliton distribution `ρ(d)` keeps the expected decoding
+//! ripple at exactly one symbol — optimal in expectation and hopeless in
+//! practice, because any variance kills the ripple.  The *robust* soliton
+//! adds the correction `τ(d)`, parameterised by `c` and `δ`: a boost of the
+//! low degrees that keeps the expected ripple near `R = c·ln(k/δ)·√k`
+//! throughout decoding, plus a probability spike at degree `k/R` that makes
+//! sure every source symbol is covered by the time the ripple should finish.
+//! The normalised sum `μ(d) = (ρ(d) + τ(d)) / β` is the distribution actually
+//! sampled; `β = Σ(ρ + τ)` is also the asymptotic reception overhead the
+//! distribution implies.
+//!
+//! Sampling is inverse-CDF over a precomputed table, so one degree draw costs
+//! one `f64` from the (seeded, deterministic) generator plus a binary search.
+//! Both the encoder and the decoder sample the same table with the same
+//! seeded generator, which is what lets a 64-bit wire serial stand in for the
+//! whole equation (see [`crate::rateless::LtEncoder`]).
+
+use crate::error::{Result, TornadoError};
+use rand::Rng;
+
+/// The robust soliton distribution `μ(d)` over degrees `1..=k`.
+///
+/// Construction follows Luby's paper: with `R = c·ln(k/δ)·√k` and
+/// `spike = round(k/R)` clamped into `1..=k`,
+///
+/// * `ρ(1) = 1/k`, `ρ(d) = 1/(d(d−1))` for `d ≥ 2`;
+/// * `τ(d) = R/(d·k)` for `d < spike`, `τ(spike) = R·ln(R/δ)/k`, else `0`.
+///
+/// `δ` is the target failure probability of the decoder once `k·β` symbols
+/// have been received; `c` trades overhead (small `c`) against ripple
+/// robustness (large `c`).
+#[derive(Debug, Clone)]
+pub struct RobustSoliton {
+    k: usize,
+    c: f64,
+    delta: f64,
+    r: f64,
+    spike: usize,
+    beta: f64,
+    mean: f64,
+    /// `pmf[d - 1] = μ(d)`.
+    pmf: Vec<f64>,
+    /// `cdf[d - 1] = Σ_{e ≤ d} μ(e)`, monotone with `cdf[k - 1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl RobustSoliton {
+    /// Build the distribution for `k` source symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TornadoError::InvalidParameters`] if `k == 0`, `c` is not a
+    /// positive finite number, or `δ` is outside `(0, 1)`.
+    pub fn new(k: usize, c: f64, delta: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(TornadoError::InvalidParameters {
+                reason: "robust soliton needs at least one symbol".to_string(),
+            });
+        }
+        if !(c.is_finite() && c > 0.0) {
+            return Err(TornadoError::InvalidParameters {
+                reason: format!("robust soliton parameter c must be positive, got {c}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(TornadoError::InvalidParameters {
+                reason: format!("robust soliton parameter delta must be in (0, 1), got {delta}"),
+            });
+        }
+        let kf = k as f64;
+        // R can fall below 1 for tiny k; clamp so the spike lands in range and
+        // the ln(R/δ) term stays meaningful.
+        let r = (c * (kf / delta).ln() * kf.sqrt()).max(1.0);
+        let spike = ((kf / r).round() as usize).clamp(1, k);
+
+        let mut weights = vec![0.0f64; k];
+        weights[0] = 1.0 / kf; // ρ(1)
+        for d in 2..=k {
+            weights[d - 1] = 1.0 / (d as f64 * (d as f64 - 1.0)); // ρ(d)
+        }
+        for d in 1..spike {
+            weights[d - 1] += r / (d as f64 * kf); // τ(d), d < spike
+        }
+        weights[spike - 1] += (r * (r / delta).ln() / kf).max(0.0); // τ(spike)
+
+        let beta: f64 = weights.iter().sum();
+        let mut pmf = weights;
+        for w in &mut pmf {
+            *w /= beta;
+        }
+        let mean = pmf
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64 + 1.0) * p)
+            .sum();
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for &p in &pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard the tail against accumulated rounding so a draw of u → 1.0
+        // can never fall past the table.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(RobustSoliton {
+            k,
+            c,
+            delta,
+            r,
+            spike,
+            beta,
+            mean,
+            pmf,
+            cdf,
+        })
+    }
+
+    /// Number of symbols `k` the distribution ranges over.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `c` parameter.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The `δ` parameter (target decode-failure probability at `β·k` symbols).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The expected ripple size `R = c·ln(k/δ)·√k` (clamped to at least 1).
+    pub fn ripple(&self) -> f64 {
+        self.r
+    }
+
+    /// Degree of the `τ` probability spike, `round(k/R)` clamped to `1..=k`.
+    pub fn spike(&self) -> usize {
+        self.spike
+    }
+
+    /// The normalisation constant `β = Σ(ρ + τ)` — also the asymptotic
+    /// reception overhead factor the distribution is designed for.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean degree `Σ d·μ(d)`, the expected XOR cost per encoded symbol.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The probability mass function: `pmf()[d - 1] = μ(d)`.
+    pub fn pmf(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Draw one degree in `1..=k` by inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First degree whose cumulative mass reaches u; the tail pin above
+        // guarantees the search lands inside the table.
+        let idx = self.cdf.partition_point(|&p| p < u);
+        idx.min(self.k - 1) + 1
+    }
+}
+
+/// A fixed finite degree distribution, sampled like [`RobustSoliton`] by
+/// inverse CDF.
+///
+/// The robust soliton is built for *full* recovery by peeling: its spike
+/// drags the mean degree up (≈ `ln k`) and concentrates completion in a late
+/// avalanche.  Raptor's LT layer wants the opposite trade — a constant mean
+/// degree and a smooth recovery curve that reaches *most* symbols early,
+/// leaving the stragglers to the precode.  Shokrollahi's Raptor paper
+/// (IEEE IT 2006, Table I) derives small fixed tables with exactly that
+/// property; [`crate::rateless::RaptorCode`] uses one of them
+/// (`RAPTOR_DEGREE_TABLE` in `raptor.rs`).
+#[derive(Debug, Clone)]
+pub struct DegreeTable {
+    /// Ascending distinct degrees.
+    degrees: Vec<usize>,
+    /// `cdf[i]` = cumulative mass of `degrees[..=i]`, tail pinned to 1.0.
+    cdf: Vec<f64>,
+    mean: f64,
+}
+
+impl DegreeTable {
+    /// Build a table from `(degree, weight)` pairs.  Weights are normalised;
+    /// they do not have to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TornadoError::InvalidParameters`] if the table is empty, a
+    /// degree is zero or non-increasing, or a weight is not a positive finite
+    /// number.
+    pub fn new(entries: &[(usize, f64)]) -> Result<Self> {
+        if entries.is_empty() {
+            return Err(TornadoError::InvalidParameters {
+                reason: "degree table needs at least one entry".to_string(),
+            });
+        }
+        let mut prev = 0usize;
+        for &(d, w) in entries {
+            if d == 0 || d <= prev {
+                return Err(TornadoError::InvalidParameters {
+                    reason: format!("degree table entries must be ascending and positive, got {d}"),
+                });
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(TornadoError::InvalidParameters {
+                    reason: format!("degree table weight for degree {d} must be positive, got {w}"),
+                });
+            }
+            prev = d;
+        }
+        let total: f64 = entries.iter().map(|&(_, w)| w).sum();
+        let degrees: Vec<usize> = entries.iter().map(|&(d, _)| d).collect();
+        let mean = entries
+            .iter()
+            .map(|&(d, w)| d as f64 * w / total)
+            .sum::<f64>();
+        let mut cdf = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for &(_, w) in entries {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(DegreeTable { degrees, cdf, mean })
+    }
+
+    /// Largest degree in the table.
+    pub fn max_degree(&self) -> usize {
+        // Non-empty by construction.
+        self.degrees.last().copied().unwrap_or(1)
+    }
+
+    /// Mean degree `Σ d·Ω(d)`, the expected XOR cost per encoded symbol.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draw one degree by inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&p| p < u);
+        self.degrees[idx.min(self.degrees.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mass_sums_to_one() {
+        for k in [1usize, 2, 10, 100, 1000, 10_000] {
+            let s = RobustSoliton::new(k, 0.03, 0.5).unwrap();
+            let total: f64 = s.pmf().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "k = {k}: mass {total}");
+            assert_eq!(s.pmf().len(), k);
+        }
+    }
+
+    #[test]
+    fn spike_sits_at_k_over_r_and_carries_extra_mass() {
+        let k = 1000;
+        let s = RobustSoliton::new(k, 0.03, 0.5).unwrap();
+        let expected = ((k as f64 / s.ripple()).round() as usize).clamp(1, k);
+        assert_eq!(s.spike(), expected);
+        assert!(s.spike() > 2 && s.spike() < k);
+        // The spike is a genuine local maximum: μ(spike) exceeds both
+        // neighbours, which smooth ρ + geometric τ could never do on its own.
+        let spike = s.spike();
+        assert!(s.pmf()[spike - 1] > s.pmf()[spike - 2] * 2.0);
+        assert!(s.pmf()[spike - 1] > s.pmf()[spike]);
+    }
+
+    #[test]
+    fn degenerate_single_symbol_always_degree_one() {
+        let s = RobustSoliton::new(1, 0.03, 0.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let s = RobustSoliton::new(500, 0.03, 0.5).unwrap();
+        let draw = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..64).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn samples_match_the_pmf_roughly() {
+        let k = 100;
+        let s = RobustSoliton::new(k, 0.03, 0.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = vec![0usize; k];
+        for _ in 0..n {
+            let d = s.sample(&mut rng);
+            assert!((1..=k).contains(&d));
+            counts[d - 1] += 1;
+        }
+        // Degrees 1, 2 and the spike all carry macroscopic mass; check the
+        // empirical frequencies land within a few standard deviations.
+        for d in [1usize, 2, s.spike()] {
+            let p = s.pmf()[d - 1];
+            let got = counts[d - 1] as f64 / n as f64;
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!(
+                (got - p).abs() < 6.0 * sigma + 1e-4,
+                "degree {d}: expected {p}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(RobustSoliton::new(0, 0.03, 0.5).is_err());
+        assert!(RobustSoliton::new(10, 0.0, 0.5).is_err());
+        assert!(RobustSoliton::new(10, -1.0, 0.5).is_err());
+        assert!(RobustSoliton::new(10, f64::NAN, 0.5).is_err());
+        assert!(RobustSoliton::new(10, 0.03, 0.0).is_err());
+        assert!(RobustSoliton::new(10, 0.03, 1.0).is_err());
+    }
+
+    #[test]
+    fn degree_table_validates_and_samples_its_support() {
+        assert!(DegreeTable::new(&[]).is_err());
+        assert!(DegreeTable::new(&[(0, 0.5)]).is_err());
+        assert!(DegreeTable::new(&[(2, 0.5), (2, 0.5)]).is_err());
+        assert!(DegreeTable::new(&[(3, 0.5), (2, 0.5)]).is_err());
+        assert!(DegreeTable::new(&[(1, 0.0)]).is_err());
+        assert!(DegreeTable::new(&[(1, f64::NAN)]).is_err());
+
+        let t = DegreeTable::new(&[(1, 1.0), (2, 2.0), (10, 1.0)]).unwrap();
+        assert_eq!(t.max_degree(), 10);
+        assert!((t.mean() - (1.0 + 4.0 + 10.0) / 4.0).abs() < 1e-12);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            match t.sample(&mut rng) {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                10 => counts[2] += 1,
+                d => panic!("degree {d} outside the table support"),
+            }
+        }
+        // 25 / 50 / 25 % within a loose statistical envelope.
+        assert!((counts[0] as f64 / 40_000.0 - 0.25).abs() < 0.02);
+        assert!((counts[1] as f64 / 40_000.0 - 0.50).abs() < 0.02);
+        assert!((counts[2] as f64 / 40_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn beta_tracks_the_tau_correction() {
+        // β > 1 always (τ adds mass), and grows with c.
+        let lo = RobustSoliton::new(1000, 0.01, 0.5).unwrap();
+        let hi = RobustSoliton::new(1000, 0.1, 0.5).unwrap();
+        assert!(lo.beta() > 1.0);
+        assert!(hi.beta() > lo.beta());
+    }
+}

@@ -44,6 +44,7 @@ pub const BOUNDS_LOOKBACK: usize = 3;
 pub const WIRE_FACING: &[&str] = &[
     "crates/proto/src/control.rs",
     "crates/proto/src/client.rs",
+    "crates/proto/src/rateless.rs",
     "crates/proto/src/wire.rs",
 ];
 
@@ -278,10 +279,7 @@ pub fn has_keyword(code: &str, word: &str) -> bool {
 fn keyword_positions<'a>(code: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
     let is_ident = |c: char| c.is_alphanumeric() || c == '_';
     code.match_indices(word).filter_map(move |(pos, _)| {
-        let before_ok = code[..pos]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !is_ident(c));
+        let before_ok = code[..pos].chars().next_back().is_none_or(|c| !is_ident(c));
         let after_ok = code[pos + word.len()..]
             .chars()
             .next()

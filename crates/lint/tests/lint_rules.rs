@@ -93,7 +93,7 @@ fn posture_rule_fires_on_bare_crate_root() {
 fn doc_drift_fires_on_seeded_control_version_drift() {
     let consts = WireConstants {
         magic: 0xDF,
-        version: 2,
+        version: 3,
         header_len: 12,
         max_layers: 32,
         max_scheduled_layers: 16,
@@ -106,8 +106,8 @@ fn doc_drift_fires_on_seeded_control_version_drift() {
 
     // Seed the drift the acceptance criteria call out: bump CONTROL_VERSION.
     let drifted = design
-        .replace("wire version 2", "wire version 3")
-        .replace("`CONTROL_VERSION` = 2", "`CONTROL_VERSION` = 3");
+        .replace("wire version 3", "wire version 4")
+        .replace("`CONTROL_VERSION` = 3", "`CONTROL_VERSION` = 4");
     let diags = check_design_text(&drifted, &consts);
     assert!(!diags.is_empty());
     assert!(diags.iter().all(|(line, _)| *line > 0));

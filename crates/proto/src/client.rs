@@ -18,21 +18,41 @@
 
 use crate::control::ControlInfo;
 use crate::layered::LayerController;
+use crate::rateless::{seed_from_words, RatelessMode, RatelessReceiver};
 use crate::wire::DataPacket;
 use bytes::Bytes;
 use df_core::{
-    reassemble_file, OwnedPayloadDecoder, ReceptionCounter, TornadoCode, TornadoError,
+    reassemble_file, OwnedPayloadDecoder, RaptorCode, ReceptionCounter, TornadoCode, TornadoError,
     TornadoProfile,
 };
 use df_mcast::LayeredSession;
 
-/// Reception statistics for one download, backed by
-/// [`df_core::ReceptionCounter`] — the same accounting the reception
-/// simulations use, so the three Section 7.3 efficiency definitions are
-/// computed in exactly one place.
+/// How a download's receptions are tallied.  A carousel session counts
+/// distinct *encoding indices* out of a known universe of `n`
+/// ([`df_core::ReceptionCounter`], exactly the accounting the reception
+/// simulations use); a rateless session receives an unbounded stream of
+/// 64-bit seeds with no index universe to bound a bitmap by, so it keeps
+/// plain totals — the decoder itself is the authority on seed novelty.
+#[derive(Debug, Clone, PartialEq)]
+enum Tally {
+    Indexed(ReceptionCounter),
+    Streaming { total: u64, distinct: u64 },
+}
+
+impl Default for Tally {
+    fn default() -> Self {
+        Tally::Streaming {
+            total: 0,
+            distinct: 0,
+        }
+    }
+}
+
+/// Reception statistics for one download.  The three Section 7.3 efficiency
+/// definitions are computed in exactly one place for both session kinds.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DownloadStats {
-    counter: ReceptionCounter,
+    tally: Tally,
     k: usize,
     decode_attempts: usize,
     rejected: u64,
@@ -41,7 +61,16 @@ pub struct DownloadStats {
 impl DownloadStats {
     fn new(n: usize, k: usize) -> Self {
         DownloadStats {
-            counter: ReceptionCounter::new(n),
+            tally: Tally::Indexed(ReceptionCounter::new(n)),
+            k,
+            decode_attempts: 0,
+            rejected: 0,
+        }
+    }
+
+    fn new_streaming(k: usize) -> Self {
+        DownloadStats {
+            tally: Tally::default(),
             k,
             decode_attempts: 0,
             rejected: 0,
@@ -49,8 +78,23 @@ impl DownloadStats {
     }
 
     /// Record the reception of encoding packet `index`; true if it was new.
+    /// Carousel sessions only (the rateless path has no index).
     fn record(&mut self, index: usize) -> bool {
-        self.counter.record(index)
+        match &mut self.tally {
+            Tally::Indexed(counter) => counter.record(index),
+            Tally::Streaming { .. } => false,
+        }
+    }
+
+    /// Record one rateless symbol reception, `new` per the decoder's seed
+    /// bookkeeping.
+    fn record_streaming(&mut self, new: bool) {
+        if let Tally::Streaming { total, distinct } = &mut self.tally {
+            *total += 1;
+            if new {
+                *distinct += 1;
+            }
+        }
     }
 
     fn note_attempt(&mut self) {
@@ -63,12 +107,19 @@ impl DownloadStats {
 
     /// Packets received (after network loss), including duplicates.
     pub fn received(&self) -> usize {
-        self.counter.total()
+        match &self.tally {
+            Tally::Indexed(counter) => counter.total(),
+            Tally::Streaming { total, .. } => *total as usize,
+        }
     }
 
-    /// Distinct encoding packets received.
+    /// Distinct packets received: distinct encoding indices for a carousel,
+    /// distinct symbol seeds for a rateless session.
     pub fn distinct(&self) -> usize {
-        self.counter.distinct()
+        match &self.tally {
+            Tally::Indexed(counter) => counter.distinct(),
+            Tally::Streaming { distinct, .. } => *distinct as usize,
+        }
     }
 
     /// Number of source packets in the file.
@@ -91,17 +142,32 @@ impl DownloadStats {
 
     /// Reception efficiency `η = k / received`.
     pub fn reception_efficiency(&self) -> f64 {
-        self.counter.reception_efficiency(self.k)
+        match &self.tally {
+            Tally::Indexed(counter) => counter.reception_efficiency(self.k),
+            Tally::Streaming { total, .. } if *total > 0 => self.k as f64 / *total as f64,
+            Tally::Streaming { .. } => 0.0,
+        }
     }
 
     /// Coding efficiency `η_c = k / distinct`.
     pub fn coding_efficiency(&self) -> f64 {
-        self.counter.coding_efficiency(self.k)
+        match &self.tally {
+            Tally::Indexed(counter) => counter.coding_efficiency(self.k),
+            Tally::Streaming { distinct, .. } if *distinct > 0 => self.k as f64 / *distinct as f64,
+            Tally::Streaming { .. } => 0.0,
+        }
     }
 
-    /// Distinctness efficiency `η_d = distinct / received`.
+    /// Distinctness efficiency `η_d = distinct / received`.  For an honest
+    /// rateless stream this is exactly `1.0` — every seed is fresh — which
+    /// is the whole point of the mode; a carousel's late joiners decay
+    /// toward the ≈ 0.64 distinctness of uniform sampling with replacement.
     pub fn distinctness_efficiency(&self) -> f64 {
-        self.counter.distinctness_efficiency()
+        match &self.tally {
+            Tally::Indexed(counter) => counter.distinctness_efficiency(),
+            Tally::Streaming { total, distinct } if *total > 0 => *distinct as f64 / *total as f64,
+            Tally::Streaming { .. } => 0.0,
+        }
     }
 }
 
@@ -172,24 +238,42 @@ pub const MAX_SCHEDULED_LAYERS: usize = df_mcast::MAX_LAYERS;
 /// tracker holds O(`sp_interval`) round counters).
 pub const MAX_SP_INTERVAL: usize = df_mcast::MAX_SP_INTERVAL;
 
+/// Largest payload a data packet can carry over UDP: the 65 507-byte UDP
+/// maximum minus the 12-byte header, minus the 2-byte pad a GF(2^16) final
+/// code adds to check packets (and rateless Raptor symbols) at odd sizes.
+const MAX_PACKET_SIZE: usize = 65_507 - crate::wire::HEADER_LEN - 2;
+
+/// The decode machinery behind one [`ClientSession`]: the index-addressed
+/// carousel pipeline (staged batch → persistent Tornado peeling decoder) or
+/// the seed-addressed streaming [`RatelessReceiver`].
+#[derive(Debug)]
+enum Backend {
+    Carousel {
+        code: TornadoCode,
+        decoder: OwnedPayloadDecoder,
+        /// Distinct packets received but not yet fed to the decoder (the
+        /// statistical strategy feeds them in batches).
+        staged: Vec<(usize, Vec<u8>)>,
+    },
+    Rateless(RatelessReceiver),
+}
+
 /// A downloading client session for one announced session.
 #[derive(Debug)]
 pub struct ClientSession {
     control: ControlInfo,
-    code: TornadoCode,
-    decoder: OwnedPayloadDecoder,
-    /// Distinct packets received but not yet fed to the decoder (the
-    /// statistical strategy feeds them in batches).
-    staged: Vec<(usize, Vec<u8>)>,
+    backend: Backend,
     stats: DownloadStats,
     /// Overhead margin the statistical strategy waits for before its next
     /// decode attempt.  Grows by 2 % of `k` per failed attempt, capped at
     /// [`Self::MAX_ATTEMPT_MARGIN`] so the decode threshold always stays
     /// below the buffer cap (otherwise a pathological run could starve the
-    /// decoder behind its own memory bound).
+    /// decoder behind its own memory bound).  Unused by rateless sessions,
+    /// whose decoder is incremental rather than batch-attempted.
     attempt_margin: f64,
-    /// Most undecoded packets (staged plus inside the decoder) the session
-    /// will hold; see [`Self::buffer_cap`].
+    /// Most undecoded packets (staged plus inside the decoder) a carousel
+    /// session will hold; see [`Self::buffer_cap`].  Rateless sessions
+    /// enforce the equivalent bound inside [`RatelessReceiver`] instead.
     buffer_cap: usize,
     /// The receiver-driven join/leave state machine of the layered
     /// congestion-control mode; `None` for flat sessions.
@@ -212,6 +296,12 @@ impl ClientSession {
     /// cannot make a client allocate an unbounded cascade.
     pub fn new(control: ControlInfo) -> df_core::Result<Self> {
         let malformed = |reason: String| TornadoError::MalformedInput { reason };
+        if control.rateless.is_rateless() {
+            // The profile name is not consulted in rateless mode (there is
+            // no negotiated Tornado code to rebuild), so it is deliberately
+            // not validated either.
+            return Self::new_rateless(control);
+        }
         let profile = TornadoProfile::by_name(&control.profile)
             .ok_or_else(|| malformed(format!("unknown Tornado profile {:?}", control.profile)))?;
         if control.layers == 0 || control.layers > MAX_LAYERS {
@@ -230,10 +320,6 @@ impl ClientSession {
                 control.base_group, control.layers
             )));
         }
-        // Largest payload a data packet can carry over UDP: the 65 507-byte
-        // UDP maximum minus the 12-byte header, minus the 2-byte pad a
-        // GF(2^16) final code adds to check packets at odd sizes.
-        const MAX_PACKET_SIZE: usize = 65_507 - crate::wire::HEADER_LEN - 2;
         if control.packet_size == 0 || control.packet_size > MAX_PACKET_SIZE {
             return Err(malformed(format!(
                 "packet size {} cannot be framed into a UDP datagram \
@@ -294,11 +380,91 @@ impl ClientSession {
             // otherwise force the session to hold.
             buffer_cap: code.k() + code.k() / 2 + 64,
             control,
-            code,
-            decoder,
-            staged: Vec::new(),
+            backend: Backend::Carousel {
+                code,
+                decoder,
+                staged: Vec::new(),
+            },
             attempt_margin: 0.06,
             controller,
+            file: None,
+        })
+    }
+
+    /// Join a seed-carrying rateless session.  Same untrusted-input posture
+    /// as the carousel path: every cheap structural check runs before the
+    /// `O(k)` decoder construction.
+    fn new_rateless(control: ControlInfo) -> df_core::Result<Self> {
+        let malformed = |reason: String| TornadoError::MalformedInput { reason };
+        // Rateless sessions are single-layer and flat by protocol (the
+        // server enforces the same); a hostile announcement mixing the modes
+        // is rejected rather than guessed about.
+        if control.layers != 1 || control.sp_interval != 0 || control.burst_rounds != 0 {
+            return Err(malformed(format!(
+                "rateless sessions are single-layer and flat; control claims layers = {}, \
+                 sp_interval = {}, burst_rounds = {}",
+                control.layers, control.sp_interval, control.burst_rounds
+            )));
+        }
+        if control.packet_size == 0 || control.packet_size > MAX_PACKET_SIZE {
+            return Err(malformed(format!(
+                "packet size {} cannot be framed into a UDP datagram \
+                 (expected 1..={MAX_PACKET_SIZE})",
+                control.packet_size
+            )));
+        }
+        if control.k == 0 || control.k > MAX_K {
+            return Err(malformed(format!(
+                "control info advertises k = {} (expected 1..={MAX_K})",
+                control.k
+            )));
+        }
+        if control.file_len.div_ceil(control.packet_size) != control.k {
+            return Err(malformed(format!(
+                "file length {} at packet size {} yields {} packets, not k = {}",
+                control.file_len,
+                control.packet_size,
+                control.file_len.div_ceil(control.packet_size),
+                control.k
+            )));
+        }
+        let receiver = match control.rateless {
+            RatelessMode::Lt => {
+                // The LT symbol range is the k source packets themselves.
+                if control.n != control.k {
+                    return Err(malformed(format!(
+                        "LT rateless control must advertise n = k, got n = {} for k = {}",
+                        control.n, control.k
+                    )));
+                }
+                RatelessReceiver::for_lt(control.k, control.packet_size, control.code_seed)?
+            }
+            RatelessMode::Raptor => {
+                let code = RaptorCode::new(control.k, control.code_seed)?;
+                if code.intermediate_count() != control.n {
+                    return Err(malformed(format!(
+                        "control info advertises n = {} but the Raptor precode at k = {} \
+                         yields {} intermediates",
+                        control.n,
+                        control.k,
+                        code.intermediate_count()
+                    )));
+                }
+                RatelessReceiver::for_raptor(&code, control.packet_size)
+            }
+            RatelessMode::Off => {
+                return Err(malformed(
+                    "rateless constructor called with mode Off".to_string(),
+                ))
+            }
+        };
+        Ok(ClientSession {
+            stats: DownloadStats::new_streaming(control.k),
+            buffer_cap: receiver.max_equations(),
+            control,
+            backend: Backend::Rateless(receiver),
+            attempt_margin: 0.06,
+            controller: None,
             file: None,
         })
     }
@@ -337,6 +503,11 @@ impl ClientSession {
         self.controller.is_some()
     }
 
+    /// Data-path encoding of this session.
+    pub fn rateless_mode(&self) -> RatelessMode {
+        self.control.rateless
+    }
+
     /// Current cumulative subscription level of a layered session (`0` =
     /// base layer only); `None` for flat sessions.
     pub fn subscription_level(&self) -> Option<usize> {
@@ -358,22 +529,32 @@ impl ClientSession {
         self.file.is_some()
     }
 
-    /// Total packets fed to the persistent decoder so far.  At most one per
-    /// distinct received packet, however many decode attempts were needed —
-    /// the invariant the owned-decoder redesign exists for.
+    /// Total packets fed to the decode machinery so far: for a carousel, at
+    /// most one per distinct received packet however many decode attempts
+    /// were needed (the invariant the owned-decoder redesign exists for);
+    /// for a rateless session, the distinct symbols accepted.
     pub fn decoder_packets_fed(&self) -> usize {
-        self.decoder.received_total()
+        match &self.backend {
+            Backend::Carousel { decoder, .. } => decoder.received_total(),
+            Backend::Rateless(receiver) => receiver.received_distinct() as usize,
+        }
     }
 
-    /// Distinct packets staged for the next decode attempt but not yet fed.
+    /// Distinct packets held but not yet decoded: staged for the next batch
+    /// attempt (carousel) or buffered as undecoded equations (rateless).
     pub fn buffered_packets(&self) -> usize {
-        self.staged.len()
+        match &self.backend {
+            Backend::Carousel { staged, .. } => staged.len(),
+            Backend::Rateless(receiver) => receiver.pending_equations(),
+        }
     }
 
     /// Most undecoded packets this session will ever hold (staged plus fed
     /// to the decoder).  A new packet arriving past the cap is refused with
     /// [`ClientEvent::Rejected`] and counted in [`DownloadStats::rejected`],
-    /// bounding client memory under a forged-datagram flood.
+    /// bounding client memory under a forged-datagram flood.  A rateless
+    /// session bounds *equations* by this number (plus an edge budget, see
+    /// [`RatelessReceiver::max_edges`]) inside its receiver.
     pub fn buffer_cap(&self) -> usize {
         self.buffer_cap
     }
@@ -425,65 +606,114 @@ impl ClientSession {
             // the range covers every layer, not just the subscribed ones.)
             return ClientEvent::Ignored;
         }
-        let idx = pkt.header.packet_index as usize;
-        if idx >= self.code.n() {
-            // Corrupted or foreign packet; the channel is best-effort, drop it.
-            return ClientEvent::Ignored;
-        }
-        if pkt.payload.len()
-            != self
-                .code
-                .expected_payload_len(idx, self.control.packet_size)
-        {
-            return ClientEvent::Ignored;
-        }
-        if let Some(controller) = &mut self.controller {
-            // Every valid reception feeds the loss tracker — duplicates
-            // included, since the congestion signal is about datagrams
-            // arriving, not about their novelty.
-            controller.observe(pkt.header.serial, pkt.header.group);
-        }
-        if !self.stats.record(idx) {
-            return ClientEvent::Duplicate;
-        }
-        if self.staged.len() + self.decoder.received_total() >= self.buffer_cap {
-            // Bounded memory: past the cap a new packet is refused rather
-            // than buffered.  Unreachable from an honest carousel — the
-            // decode threshold that drains `staged` sits below the cap.
-            self.stats.note_rejected();
-            return ClientEvent::Rejected;
-        }
-        self.staged.push((idx, pkt.payload.to_vec()));
-        // Statistical strategy: only attempt a decode once enough distinct
-        // packets have accumulated; after a failed attempt, wait for another
-        // 2 % of k before trying again.
-        let threshold = (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
-        if self.stats.distinct() < threshold {
-            return ClientEvent::Buffered;
-        }
-        self.stats.note_attempt();
-        for (i, payload) in self.staged.drain(..) {
-            // The staged packets are deduplicated and validated, so the
-            // decoder can take ownership outright; an error here would mean
-            // the validation above let something malformed through, so drop
-            // the packet like any other channel noise.
-            match self.decoder.add_packet(i, payload) {
-                Ok(df_core::AddOutcome::Complete) => break,
-                Ok(_) => {}
-                Err(_) => continue,
+        match &mut self.backend {
+            Backend::Carousel {
+                code,
+                decoder,
+                staged,
+            } => {
+                let idx = pkt.header.packet_index as usize;
+                if idx >= code.n() {
+                    // Corrupted or foreign packet; the channel is
+                    // best-effort, drop it.
+                    return ClientEvent::Ignored;
+                }
+                if pkt.payload.len() != code.expected_payload_len(idx, self.control.packet_size) {
+                    return ClientEvent::Ignored;
+                }
+                if let Some(controller) = &mut self.controller {
+                    // Every valid reception feeds the loss tracker —
+                    // duplicates included, since the congestion signal is
+                    // about datagrams arriving, not about their novelty.
+                    controller.observe(pkt.header.serial, pkt.header.group);
+                }
+                if !self.stats.record(idx) {
+                    return ClientEvent::Duplicate;
+                }
+                if staged.len() + decoder.received_total() >= self.buffer_cap {
+                    // Bounded memory: past the cap a new packet is refused
+                    // rather than buffered.  Unreachable from an honest
+                    // carousel — the decode threshold that drains `staged`
+                    // sits below the cap.
+                    self.stats.note_rejected();
+                    return ClientEvent::Rejected;
+                }
+                staged.push((idx, pkt.payload.to_vec()));
+                // Statistical strategy: only attempt a decode once enough
+                // distinct packets have accumulated; after a failed attempt,
+                // wait for another 2 % of k before trying again.
+                let threshold =
+                    (self.control.k as f64 * (1.0 + self.attempt_margin)).ceil() as usize;
+                if self.stats.distinct() < threshold {
+                    return ClientEvent::Buffered;
+                }
+                self.stats.note_attempt();
+                for (i, payload) in staged.drain(..) {
+                    // The staged packets are deduplicated and validated, so
+                    // the decoder can take ownership outright; an error here
+                    // would mean the validation above let something
+                    // malformed through, so drop the packet like any other
+                    // channel noise.
+                    match decoder.add_packet(i, payload) {
+                        Ok(df_core::AddOutcome::Complete) => break,
+                        Ok(_) => {}
+                        Err(_) => continue,
+                    }
+                }
+                if decoder.is_complete() {
+                    // `source()` is Some whenever the decoder reports
+                    // completion; if that invariant ever broke, degrade to a
+                    // failed attempt rather than panicking while processing
+                    // untrusted traffic.
+                    if let Some(source) = decoder.source() {
+                        self.file = Some(reassemble_file(&source, self.control.file_len));
+                        return ClientEvent::Complete;
+                    }
+                }
+                self.attempt_margin = (self.attempt_margin + 0.02).min(Self::MAX_ATTEMPT_MARGIN);
+                ClientEvent::AttemptFailed
+            }
+            Backend::Rateless(receiver) => {
+                // Rateless symbols share one uniform length; anything else
+                // is noise (and would poison the XOR reduction if let in).
+                if pkt.payload.len() != receiver.payload_len() {
+                    return ClientEvent::Ignored;
+                }
+                let seed = seed_from_words(pkt.header.packet_index, pkt.header.serial);
+                if receiver.at_capacity() {
+                    // The bounded-memory backstop: a flood of forged seeds
+                    // (absurd degrees, colliding neighbor sets) can fill the
+                    // equation buffer, but it cannot grow it past the caps —
+                    // new symbols are refused before the decoder sees them.
+                    self.stats.record_streaming(false);
+                    self.stats.note_rejected();
+                    return ClientEvent::Rejected;
+                }
+                match receiver.add(seed, pkt.payload.to_vec()) {
+                    df_core::AddOutcome::Duplicate => {
+                        self.stats.record_streaming(false);
+                        ClientEvent::Duplicate
+                    }
+                    df_core::AddOutcome::Accepted => {
+                        self.stats.record_streaming(true);
+                        ClientEvent::Buffered
+                    }
+                    df_core::AddOutcome::Complete => {
+                        self.stats.record_streaming(true);
+                        match receiver.source_packets() {
+                            Some(source) => {
+                                self.file = Some(reassemble_file(&source, self.control.file_len));
+                                ClientEvent::Complete
+                            }
+                            // Completion without source() would be a decoder
+                            // invariant break; degrade instead of panicking
+                            // on untrusted traffic.
+                            None => ClientEvent::Buffered,
+                        }
+                    }
+                }
             }
         }
-        if self.decoder.is_complete() {
-            // `source()` is Some whenever the decoder reports completion; if
-            // that invariant ever broke, degrade to a failed attempt rather
-            // than panicking while processing untrusted traffic.
-            if let Some(source) = self.decoder.source() {
-                self.file = Some(reassemble_file(&source, self.control.file_len));
-                return ClientEvent::Complete;
-            }
-        }
-        self.attempt_margin = (self.attempt_margin + 0.02).min(Self::MAX_ATTEMPT_MARGIN);
-        ClientEvent::AttemptFailed
     }
 }
 
@@ -677,7 +907,7 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            server.code().cascade().final_code(),
+            server.code().unwrap().cascade().final_code(),
             FinalCode::Large(_)
         ));
         let net = SimMulticast::new(21);
@@ -850,6 +1080,148 @@ mod tests {
         let second = replay();
         assert_eq!(first, second, "identical trace must yield identical run");
         assert!(!first.0.is_empty(), "premise: the trace spans several SPs");
+    }
+
+    fn run_rateless_download(
+        mode: RatelessMode,
+        loss: f64,
+        data_len: usize,
+        packet_size: usize,
+        skip_rounds: usize,
+    ) -> (ClientSession, Vec<u8>) {
+        let data: Vec<u8> = (0..data_len).map(|i| (i * 131 % 251) as u8).collect();
+        let mut server = ServerSession::new(
+            &data,
+            SessionConfig {
+                rateless: mode,
+                packet_size,
+                code_seed: 7,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let net = SimMulticast::new(11);
+        let mut tx = net.endpoint(0.0);
+        // A "late joiner": rounds transmitted before the client tunes in are
+        // simply never seen, exactly as on a real multicast group.
+        for _ in 0..skip_rounds {
+            server.send_round(&mut tx);
+        }
+        let mut rx = net.endpoint(loss);
+        let mut client = ClientSession::new(server.control_info().clone()).unwrap();
+        assert_eq!(client.rateless_mode(), mode);
+        for group in client.groups() {
+            rx.join(group).unwrap();
+        }
+        while rx.recv().is_some() {} // drop anything queued pre-join
+        'outer: for _ in 0..10_000 {
+            server.send_round(&mut tx);
+            while let Some((_group, datagram)) = rx.recv() {
+                if client.handle_datagram(datagram) == ClientEvent::Complete {
+                    break 'outer;
+                }
+            }
+        }
+        (client, data)
+    }
+
+    #[test]
+    fn rateless_lt_download_reconstructs_under_loss() {
+        let (client, data) = run_rateless_download(RatelessMode::Lt, 0.3, 30_000, 500, 0);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        let stats = client.stats();
+        // Every rateless symbol is fresh: distinctness is exactly 1.
+        assert_eq!(stats.distinctness_efficiency(), 1.0);
+        assert_eq!(stats.rejected(), 0);
+        assert_eq!(stats.received(), stats.distinct());
+    }
+
+    #[test]
+    fn rateless_raptor_download_reconstructs_at_odd_packet_size() {
+        // 499-byte packets force the GF(2^16) two-byte intermediate padding
+        // through the whole wire path: symbols are 501 bytes, yet the
+        // reassembled file must be byte-exact.
+        let (client, data) = run_rateless_download(RatelessMode::Raptor, 0.2, 49_900, 499, 0);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        assert_eq!(client.stats().distinctness_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn rateless_late_joiner_pays_no_distinctness_penalty() {
+        // Join 20 rounds late: a carousel client would start swallowing
+        // duplicates, a rateless client sees only fresh seeds and completes
+        // from the same ≈1.1k symbols as an on-time joiner.
+        let (client, data) = run_rateless_download(RatelessMode::Lt, 0.0, 25_000, 500, 20);
+        assert!(client.is_complete());
+        assert_eq!(client.file().unwrap(), &data[..]);
+        let stats = client.stats();
+        assert_eq!(stats.distinctness_efficiency(), 1.0);
+        assert!(
+            stats.received() < 2 * stats.k(),
+            "late join cost duplicates: {} received for k = {}",
+            stats.received(),
+            stats.k()
+        );
+    }
+
+    #[test]
+    fn hostile_rateless_control_is_rejected() {
+        let data = vec![1u8; 25_000];
+        let server = ServerSession::new(
+            &data,
+            SessionConfig {
+                rateless: RatelessMode::Lt,
+                code_seed: 3,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let base = server.control_info().clone();
+        // LT must advertise n = k.
+        let mut control = base.clone();
+        control.n += 7;
+        assert!(matches!(
+            ClientSession::new(control),
+            Err(TornadoError::MalformedInput { .. })
+        ));
+        // Rateless plus layered flags is a protocol violation.
+        for (layers, sp, burst) in [(2usize, 0usize, 0usize), (1, 4, 1), (1, 0, 1)] {
+            let mut control = base.clone();
+            control.layers = layers;
+            control.sp_interval = sp;
+            control.burst_rounds = burst;
+            assert!(
+                matches!(
+                    ClientSession::new(control),
+                    Err(TornadoError::MalformedInput { .. })
+                ),
+                "rateless with layers = {layers}, sp = {sp}, burst = {burst} must be rejected"
+            );
+        }
+        // Raptor validates n against the rebuilt precode's intermediate
+        // count.
+        let raptor = ServerSession::new(
+            &data,
+            SessionConfig {
+                rateless: RatelessMode::Raptor,
+                code_seed: 3,
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let mut control = raptor.control_info().clone();
+        control.n -= 1;
+        assert!(matches!(
+            ClientSession::new(control),
+            Err(TornadoError::MalformedInput { .. })
+        ));
+        // An unknown profile name is irrelevant to a rateless session (no
+        // Tornado code is negotiated), so it must NOT be rejected.
+        let mut control = base.clone();
+        control.profile = "not-a-profile".to_string();
+        assert!(ClientSession::new(control).is_ok());
     }
 
     #[test]

@@ -11,13 +11,15 @@
 //! non-Rust clients can speak it and the format is pinned by tests instead
 //! of by `derive` internals.
 
+use crate::rateless::RatelessMode;
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// First byte of every control datagram.
 pub const CONTROL_MAGIC: u8 = 0xDF;
 /// Wire-format version.  Version 2 added the layered congestion-control
-/// parameters (`sp_interval`, `burst_rounds`) to [`ControlInfo`].
-pub const CONTROL_VERSION: u8 = 0x02;
+/// parameters (`sp_interval`, `burst_rounds`) to [`ControlInfo`]; version 3
+/// added the [`RatelessMode`] flag announcing seed-carrying sessions.
+pub const CONTROL_VERSION: u8 = 0x03;
 
 /// The session parameters a client fetches over the control channel before
 /// subscribing.
@@ -51,7 +53,15 @@ pub struct ControlInfo {
     /// Rounds of double-rate burst preceding each synchronisation point
     /// (meaningful only when `sp_interval > 0`).
     pub burst_rounds: usize,
-    /// Profile name ("tornado-a" / "tornado-b").
+    /// How the data datagrams are encoded: [`RatelessMode::Off`] for the
+    /// fixed-encoding carousel, or a seed-carrying rateless mode in which
+    /// the header's `packet_index:serial` words hold a 64-bit symbol seed
+    /// and `n` advertises the seed range's symbol count (`k` for LT, the
+    /// intermediate count for Raptor).
+    pub rateless: RatelessMode,
+    /// Profile name ("tornado-a" / "tornado-b").  Ignored by rateless
+    /// sessions (LT uses no Tornado code; Raptor's precode profile is fixed
+    /// by the protocol, not negotiated).
     pub profile: String,
 }
 
@@ -84,6 +94,7 @@ impl ControlInfo {
         debug_assert!(self.burst_rounds <= u32::MAX as usize);
         buf.put_slice(&(self.sp_interval as u32).to_be_bytes());
         buf.put_slice(&(self.burst_rounds as u32).to_be_bytes());
+        buf.put_u8(self.rateless.to_wire());
         let name = self.profile.as_bytes();
         debug_assert!(name.len() <= u16::MAX as usize);
         buf.put_slice(&(name.len() as u16).to_be_bytes());
@@ -101,6 +112,7 @@ impl ControlInfo {
         let base_group = r.u32()?;
         let sp_interval = r.u32()? as usize;
         let burst_rounds = r.u32()? as usize;
+        let rateless = RatelessMode::from_wire(r.u8()?)?;
         let name_len = r.u16()? as usize;
         let name = r.take(name_len)?;
         Some(ControlInfo {
@@ -114,6 +126,7 @@ impl ControlInfo {
             base_group,
             sp_interval,
             burst_rounds,
+            rateless,
             profile: String::from_utf8(name.to_vec()).ok()?,
         })
     }
@@ -333,6 +346,12 @@ mod tests {
             // the flat (0, 0) case.
             sp_interval: (session_id % 5) as usize * 4,
             burst_rounds: (session_id % 3) as usize,
+            // Cycle through every mode byte, Off included.
+            rateless: match code_seed % 3 {
+                0 => RatelessMode::Off,
+                1 => RatelessMode::Lt,
+                _ => RatelessMode::Raptor,
+            },
             // Arbitrary printable-ASCII profile name.
             profile: name_bytes.iter().map(|b| (b % 94 + 33) as char).collect(),
         }
@@ -409,6 +428,26 @@ mod tests {
                 "truncation at {cut} must not parse"
             );
         }
+    }
+
+    #[test]
+    fn rateless_mode_byte_sits_after_the_cadence_and_rejects_unknowns() {
+        let mut info = arb_info(1, (10_000, 500, 20), 7, 1, 0, b"tornado-a");
+        info.rateless = RatelessMode::Raptor;
+        let wire = ControlResponse::Session { info }.to_bytes();
+        // Fixed layout: 3 header bytes, then 48 bytes of numeric fields
+        // (u32 id, u64 len, five u32s, u64 seed, two u32 cadence words)
+        // put the mode byte at offset 51 — pin it so the format cannot
+        // silently drift.
+        const MODE_OFFSET: usize = 51;
+        assert_eq!(wire[MODE_OFFSET], RatelessMode::Raptor.to_wire());
+        let mut forged = wire.to_vec();
+        forged[MODE_OFFSET] = 0x7f;
+        assert_eq!(
+            ControlResponse::from_bytes(&forged),
+            None,
+            "unknown mode bytes must fail the parse, not default"
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub type CompletionCallback = Box<dyn FnMut(Token, &ClientSession)>;
 
 /// Either kind of carousel a server slot can pump.
 enum Carousel {
-    Session(ServerSession),
+    Session(Box<ServerSession>),
     Server(FountainServer),
 }
 
@@ -220,7 +220,7 @@ impl<T: Transport> EventLoop<T> {
         pacing: Pacing,
     ) -> Token {
         self.push_slot(Slot::Server(Box::new(ServerSlot {
-            carousel: Carousel::Session(session),
+            carousel: Carousel::Session(Box::new(session)),
             transport,
             control: None,
             pacing,
@@ -751,6 +751,51 @@ mod tests {
     }
 
     #[test]
+    fn rateless_sessions_pump_through_the_event_loop() {
+        // The loop needs no rateless-specific code: poll_transmit /
+        // round_complete / handle_datagram are the same contract, only the
+        // datagrams now carry seeds.  Lossy and lossless clients of both
+        // modes must complete, each with perfect distinctness.
+        for mode in [crate::RatelessMode::Lt, crate::RatelessMode::Raptor] {
+            let data = patterned(40_000, 7);
+            let net = SimMulticast::new(9);
+            let (session, info) = sim_server(
+                &data,
+                SessionConfig {
+                    rateless: mode,
+                    code_seed: 13,
+                    ..SessionConfig::default()
+                },
+                &net,
+            );
+            let mut el: EventLoop<crate::SimEndpoint> = EventLoop::new();
+            el.add_server_session(
+                session,
+                net.endpoint(0.0),
+                Pacing::new(Duration::from_millis(1), 128),
+            );
+            let mut tokens = Vec::new();
+            for i in 0..4 {
+                let loss = if i % 2 == 0 { 0.0 } else { 0.3 };
+                let client = ClientSession::new(info.clone()).unwrap();
+                tokens.push(el.add_client(client, net.endpoint(loss)).unwrap());
+            }
+            for _ in 0..10_000 {
+                el.step();
+                if el.all_clients_complete() {
+                    break;
+                }
+            }
+            assert!(el.all_clients_complete(), "mode {mode:?} stalled");
+            for token in tokens {
+                let (client, _endpoint) = el.take_client(token).unwrap();
+                assert_eq!(client.file().unwrap(), &data[..], "mode {mode:?}");
+                assert_eq!(client.stats().distinctness_efficiency(), 1.0);
+            }
+        }
+    }
+
+    #[test]
     fn layered_join_intents_are_executed_by_the_loop() {
         let data = patterned(200_000, 3);
         let net = SimMulticast::new(5);
@@ -765,7 +810,7 @@ mod tests {
             },
             &net,
         );
-        let n = session.code().n();
+        let n = session.code().unwrap().n();
         let mut el: EventLoop<crate::SimEndpoint> = EventLoop::new();
         el.add_server_session(
             session,
@@ -891,7 +936,7 @@ mod tests {
                 },
             )
             .unwrap();
-            let n = session.code().n();
+            let n = session.code().unwrap().n();
             let info = session.control_info().clone();
             let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
             let mut el: EventLoop<Recording<crate::SimEndpoint>> = EventLoop::new();

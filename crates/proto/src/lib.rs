@@ -55,6 +55,20 @@
 //! the 500-byte default payload match Section 7.3's description of the
 //! prototype exactly; the control channel speaks the binary
 //! [`ControlRequest`]/[`ControlResponse`] framing in [`control`].
+//!
+//! ## Rateless mode
+//!
+//! A session configured with [`SessionConfig::rateless`] set to
+//! [`RatelessMode::Lt`] or [`RatelessMode::Raptor`] is a *true* digital
+//! fountain: instead of carouselling a fixed encoding it streams fresh LT /
+//! Raptor symbols forever, the unchanged 12-byte header's
+//! `packet_index:serial` words carrying each symbol's 64-bit seed.  Every
+//! received symbol is new no matter when a receiver tunes in — the
+//! distinctness-efficiency loss late joiners pay under the carousel
+//! (→ ≈ 0.64 as duplicates accumulate) disappears entirely.  The mode is
+//! announced on the control channel (`CONTROL_VERSION` 3) and the client
+//! routes datagrams into a streaming decoder behind hard memory caps; see
+//! DESIGN.md "Rateless mode".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +77,7 @@ pub mod client;
 pub mod control;
 pub mod driver;
 mod layered;
+pub mod rateless;
 pub mod server;
 pub mod transport;
 pub mod udp;
@@ -71,6 +86,9 @@ pub mod wire;
 pub use client::{ClientEvent, ClientSession, DownloadStats};
 pub use control::{ControlInfo, ControlRequest, ControlResponse};
 pub use driver::{EventLoop, EventLoopStats, Pacing, Token};
+pub use rateless::{
+    seed_from_words, seed_to_words, RatelessMode, RatelessReceiver, RatelessSender,
+};
 pub use server::{FountainServer, ServerSession, SessionConfig};
 pub use transport::{Readiness, SimEndpoint, SimMulticast, Transport};
 pub use udp::{GroupAddressing, UdpMulticastTransport};

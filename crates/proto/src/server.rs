@@ -9,10 +9,11 @@
 //! the [`crate::Transport`].
 
 use crate::control::{ControlInfo, ControlRequest, ControlResponse};
+use crate::rateless::{seed_to_words, RatelessMode, RatelessSender};
 use crate::transport::Transport;
 use crate::wire::{DataPacket, PacketHeader};
 use bytes::Bytes;
-use df_core::{PacketizedFile, TornadoCode, TornadoProfile, TORNADO_A};
+use df_core::{PacketizedFile, RaptorCode, TornadoCode, TornadoProfile, TORNADO_A};
 use df_mcast::{LayeredSession, TransmissionSchedule};
 use std::collections::VecDeque;
 
@@ -44,6 +45,13 @@ pub struct SessionConfig {
     /// Rounds of double-rate burst preceding each SP (only meaningful when
     /// `sp_interval > 0`; must then be `< sp_interval`).
     pub burst_rounds: usize,
+    /// Data-path encoding: [`RatelessMode::Off`] (default) transmits the
+    /// fixed-encoding carousel; the seed-carrying modes stream fresh LT /
+    /// Raptor symbols forever instead.  Rateless sessions are single-layer
+    /// and flat (`layers == 1`, `sp_interval == 0`): every symbol is already
+    /// distinct, so the layered schedule's duplicate-avoidance machinery has
+    /// nothing to contribute.
+    pub rateless: RatelessMode,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +65,7 @@ impl Default for SessionConfig {
             session_id: 0,
             sp_interval: 0,
             burst_rounds: 0,
+            rateless: RatelessMode::Off,
         }
     }
 }
@@ -76,29 +85,47 @@ impl Default for SessionConfig {
 /// ```
 #[derive(Debug)]
 pub struct ServerSession {
-    code: TornadoCode,
-    encoding: Vec<Vec<u8>>,
-    schedule: TransmissionSchedule,
-    /// SP/burst cadence of the layered congestion-control mode; `None` for a
-    /// flat carousel.
-    layered: Option<LayeredSession>,
+    engine: Engine,
     control: ControlInfo,
     serial: u32,
     round: usize,
-    /// `(layer, encoding index)` pairs still to transmit this round.
-    pending: VecDeque<(usize, usize)>,
+    /// Total datagrams emitted (all modes; the rateless seed stream can
+    /// exceed `u32`, so this is not the wire serial).
+    sent: u64,
+}
+
+/// The transmit machinery behind a [`ServerSession`]: either the classic
+/// fixed-encoding carousel or a never-repeating rateless symbol stream.
+#[derive(Debug)]
+enum Engine {
+    Carousel {
+        code: TornadoCode,
+        encoding: Vec<Vec<u8>>,
+        schedule: TransmissionSchedule,
+        /// SP/burst cadence of the layered congestion-control mode; `None`
+        /// for a flat carousel.
+        layered: Option<LayeredSession>,
+        /// `(layer, encoding index)` pairs still to transmit this round.
+        pending: VecDeque<(usize, usize)>,
+    },
+    Rateless(RatelessSender),
 }
 
 impl ServerSession {
-    /// Encode `data` under `config` and prepare the carousel.
+    /// Encode `data` under `config` and prepare the carousel (or, for a
+    /// rateless `config`, the endless symbol stream).
     ///
     /// # Errors
     ///
     /// Propagates packetisation and encoding errors from `df-core`, and
     /// returns [`df_core::TornadoError::InvalidParameters`] for a degenerate
-    /// layered configuration (see [`df_mcast::LayeredSession::new`]).
+    /// layered configuration (see [`df_mcast::LayeredSession::new`]) or a
+    /// rateless configuration that is not single-layer and flat.
     pub fn new(data: &[u8], config: SessionConfig) -> df_core::Result<Self> {
         let file = PacketizedFile::split(data, config.packet_size)?;
+        if config.rateless.is_rateless() {
+            return Self::new_rateless(&file, config);
+        }
         let code = TornadoCode::with_profile(file.num_packets(), config.profile, config.code_seed)?;
         let encoding = code.encode(file.packets())?;
         let layered = if config.sp_interval > 0 {
@@ -123,20 +150,84 @@ impl ServerSession {
             base_group: config.base_group,
             sp_interval: config.sp_interval,
             burst_rounds: config.burst_rounds,
+            rateless: RatelessMode::Off,
             profile: config.profile.name.to_string(),
         };
         let mut session = ServerSession {
-            code,
-            encoding,
-            schedule,
-            layered,
+            engine: Engine::Carousel {
+                code,
+                encoding,
+                schedule,
+                layered,
+                pending: VecDeque::new(),
+            },
             control,
             serial: 0,
             round: 0,
-            pending: VecDeque::new(),
+            sent: 0,
         };
         session.refill_round();
         Ok(session)
+    }
+
+    /// Build the rateless variant: no retained encoding, no schedule — just
+    /// the seed-carrying symbol stream over one multicast group.
+    fn new_rateless(file: &PacketizedFile, config: SessionConfig) -> df_core::Result<Self> {
+        if config.layers != 1 || config.sp_interval != 0 {
+            return Err(df_core::TornadoError::InvalidParameters {
+                reason: format!(
+                    "rateless sessions are single-layer and flat; got layers = {}, \
+                     sp_interval = {} (every symbol is already distinct, so the \
+                     layered schedule has nothing to add)",
+                    config.layers, config.sp_interval
+                ),
+            });
+        }
+        let k = file.num_packets();
+        let (sender, n) = match config.rateless {
+            RatelessMode::Lt => {
+                // The LT layer ranges over the k uniform source packets
+                // themselves (PacketizedFile pads the last one), so the
+                // advertised symbol count n is k.
+                (
+                    RatelessSender::for_lt(file.packets().to_vec(), config.code_seed)?,
+                    k,
+                )
+            }
+            RatelessMode::Raptor => {
+                let code = RaptorCode::new(k, config.code_seed)?;
+                let n = code.intermediate_count();
+                (RatelessSender::for_raptor(&code, file.packets())?, n)
+            }
+            // Unreachable (the caller dispatched on is_rateless()), but an
+            // error beats a panic in session-construction code.
+            RatelessMode::Off => {
+                return Err(df_core::TornadoError::InvalidParameters {
+                    reason: "rateless constructor called with mode Off".to_string(),
+                })
+            }
+        };
+        let control = ControlInfo {
+            session_id: config.session_id,
+            file_len: file.file_len(),
+            packet_size: config.packet_size,
+            k,
+            n,
+            code_seed: config.code_seed,
+            layers: 1,
+            base_group: config.base_group,
+            sp_interval: 0,
+            burst_rounds: 0,
+            rateless: config.rateless,
+            profile: config.profile.name.to_string(),
+        };
+        Ok(ServerSession {
+            engine: Engine::Rateless(sender),
+            control,
+            serial: 0,
+            round: 0,
+            sent: 0,
+        })
     }
 
     /// Convenience constructor using the paper's defaults: Tornado A and
@@ -166,79 +257,144 @@ impl ServerSession {
         self.control.session_id
     }
 
-    /// The Tornado code in use (exposed for tests and benchmarks).
-    pub fn code(&self) -> &TornadoCode {
-        &self.code
+    /// The Tornado code in use, for carousel sessions (exposed for tests and
+    /// benchmarks); `None` for rateless sessions, which retain no fixed
+    /// encoding at all.
+    pub fn code(&self) -> Option<&TornadoCode> {
+        match &self.engine {
+            Engine::Carousel { code, .. } => Some(code),
+            Engine::Rateless(_) => None,
+        }
     }
 
-    /// The reverse-binary transmission schedule driving the carousel.
-    pub fn schedule(&self) -> &TransmissionSchedule {
-        &self.schedule
+    /// The reverse-binary transmission schedule driving the carousel;
+    /// `None` for rateless sessions (an endless seed stream has no
+    /// schedule).
+    pub fn schedule(&self) -> Option<&TransmissionSchedule> {
+        match &self.engine {
+            Engine::Carousel { schedule, .. } => Some(schedule),
+            Engine::Rateless(_) => None,
+        }
+    }
+
+    /// Data-path encoding of this session.
+    pub fn rateless_mode(&self) -> RatelessMode {
+        self.control.rateless
     }
 
     /// True when the session transmits the layered congestion-control
     /// schedule (SPs and bursts) rather than a flat carousel.
     pub fn is_layered(&self) -> bool {
-        self.layered.is_some()
+        matches!(
+            &self.engine,
+            Engine::Carousel {
+                layered: Some(_),
+                ..
+            }
+        )
     }
 
     /// True when the round currently being transmitted is part of a
-    /// double-rate burst period (always false for flat sessions).
+    /// double-rate burst period (always false for flat and rateless
+    /// sessions).
     pub fn in_burst(&self) -> bool {
-        self.layered
-            .as_ref()
-            .is_some_and(|l| l.is_burst(self.round))
+        match &self.engine {
+            Engine::Carousel { layered, .. } => {
+                layered.as_ref().is_some_and(|l| l.is_burst(self.round))
+            }
+            Engine::Rateless(_) => false,
+        }
     }
 
     /// The next datagram to transmit this round, as `(group, datagram)`, or
     /// `None` once the round's schedule is exhausted (call
     /// [`ServerSession::advance_round`] to start the next round).
+    ///
+    /// A carousel round walks the reverse-binary schedule over the retained
+    /// encoding; a rateless round emits `k` *fresh* symbols, the header's
+    /// `packet_index:serial` words carrying each symbol's 64-bit seed.
     pub fn poll_transmit(&mut self) -> Option<(u32, Bytes)> {
-        let (layer, idx) = self.pending.pop_front()?;
-        let group = self.control.base_group + layer as u32;
-        let header = PacketHeader {
-            packet_index: idx as u32,
-            serial: self.serial,
-            group,
+        let out = match &mut self.engine {
+            Engine::Carousel {
+                encoding, pending, ..
+            } => {
+                let (layer, idx) = pending.pop_front()?;
+                let group = self.control.base_group + layer as u32;
+                let header = PacketHeader {
+                    packet_index: idx as u32,
+                    serial: self.serial,
+                    group,
+                };
+                self.serial = self.serial.wrapping_add(1);
+                // Frame straight from the retained encoding: the carousel
+                // re-sends every packet forever, so an extra per-datagram
+                // payload copy here would be an unbounded stream of
+                // redundant allocations.
+                (group, DataPacket::frame(&header, &encoding[idx]))
+            }
+            Engine::Rateless(sender) => {
+                let (seed, payload) = sender.poll()?;
+                let (packet_index, serial) = seed_to_words(seed);
+                let group = self.control.base_group;
+                let header = PacketHeader {
+                    packet_index,
+                    serial,
+                    group,
+                };
+                (group, DataPacket::frame(&header, &payload))
+            }
         };
-        // Frame straight from the retained encoding: the carousel re-sends
-        // every packet forever, so an extra per-datagram payload copy here
-        // would be an unbounded stream of redundant allocations.
-        let datagram = DataPacket::frame(&header, &self.encoding[idx]);
-        self.serial = self.serial.wrapping_add(1);
-        Some((group, datagram))
+        self.sent += 1;
+        Some(out)
     }
 
-    /// True when the current round's schedule has been fully polled.
+    /// True when the current round's schedule (or rateless symbol quota) has
+    /// been fully polled.
     pub fn round_complete(&self) -> bool {
-        self.pending.is_empty()
+        match &self.engine {
+            Engine::Carousel { pending, .. } => pending.is_empty(),
+            Engine::Rateless(sender) => sender.round_complete(),
+        }
     }
 
-    /// Begin the next round of the layered schedule, discarding whatever the
-    /// driver chose not to transmit of the current one.
+    /// Begin the next round, discarding whatever the driver chose not to
+    /// transmit of the current one (for a rateless session nothing is
+    /// discarded — the unsent seeds were simply never generated).
     pub fn advance_round(&mut self) {
         self.round += 1;
         self.refill_round();
     }
 
     fn refill_round(&mut self) {
-        self.pending.clear();
-        let burst = self.in_burst();
-        for layer in 0..self.schedule.layers() {
-            let tx = self.schedule.transmission(layer, self.round);
-            for &idx in &tx {
-                self.pending.push_back((layer, idx));
-            }
-            if burst {
-                // The burst repeats the layer's packets at double rate; the
-                // duplicates carry no new data, they exist to stress the
-                // receiver's bottleneck so the resulting loss (or its
-                // absence) answers the "could I sustain one more layer?"
-                // probe without any feedback channel.
-                for &idx in &tx {
-                    self.pending.push_back((layer, idx));
+        let round = self.round;
+        match &mut self.engine {
+            Engine::Carousel {
+                schedule,
+                layered,
+                pending,
+                ..
+            } => {
+                pending.clear();
+                let burst = layered.as_ref().is_some_and(|l| l.is_burst(round));
+                for layer in 0..schedule.layers() {
+                    let tx = schedule.transmission(layer, round);
+                    for &idx in &tx {
+                        pending.push_back((layer, idx));
+                    }
+                    if burst {
+                        // The burst repeats the layer's packets at double
+                        // rate; the duplicates carry no new data, they exist
+                        // to stress the receiver's bottleneck so the
+                        // resulting loss (or its absence) answers the "could
+                        // I sustain one more layer?" probe without any
+                        // feedback channel.
+                        for &idx in &tx {
+                            pending.push_back((layer, idx));
+                        }
+                    }
                 }
             }
+            Engine::Rateless(sender) => sender.advance_round(),
         }
     }
 
@@ -256,9 +412,10 @@ impl ServerSession {
         self.round
     }
 
-    /// Total data packets transmitted so far.
-    pub fn packets_sent(&self) -> u32 {
-        self.serial
+    /// Total data packets transmitted so far (`u64`: a rateless session's
+    /// seed stream outlives any `u32` counter).
+    pub fn packets_sent(&self) -> u64 {
+        self.sent
     }
 }
 
@@ -414,7 +571,7 @@ mod tests {
         }
         server.send_round(&mut tx);
         // One round sends the full cumulative bandwidth (= block size) per block.
-        let expected = server.code().n().div_ceil(8) * 8;
+        let expected = server.code().unwrap().n().div_ceil(8) * 8;
         assert!(rx.pending() <= expected);
         assert!(rx.pending() > 0);
         assert_eq!(server.rounds_sent(), 1);
@@ -464,7 +621,7 @@ mod tests {
             },
         )
         .unwrap();
-        let n = server.code().n();
+        let n = server.code().unwrap().n();
         for round in 0..12 {
             let mut count = 0usize;
             let mut indices = std::collections::HashMap::new();
@@ -590,6 +747,75 @@ mod tests {
             }
         }
         assert_eq!(counts, [500, 500], "strict alternation between sessions");
+    }
+
+    #[test]
+    fn rateless_sessions_emit_fresh_seeds_forever() {
+        let data = vec![5u8; 25_000]; // k = 50
+        for mode in [RatelessMode::Lt, RatelessMode::Raptor] {
+            let mut server = ServerSession::new(
+                &data,
+                SessionConfig {
+                    rateless: mode,
+                    code_seed: 7,
+                    ..SessionConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(server.code().is_none(), "no retained encoding");
+            assert!(server.schedule().is_none(), "no carousel schedule");
+            assert!(!server.is_layered() && !server.in_burst());
+            assert_eq!(server.rateless_mode(), mode);
+            let info = server.control_info();
+            assert_eq!(info.rateless, mode);
+            assert_eq!(info.k, 50);
+            match mode {
+                RatelessMode::Lt => assert_eq!(info.n, 50, "LT advertises n = k"),
+                RatelessMode::Raptor => assert!(info.n > 50, "Raptor advertises L > k"),
+                RatelessMode::Off => unreachable!(),
+            }
+            // Three rounds of k fresh symbols each; every header carries the
+            // next monotonic seed and never repeats.
+            let mut seeds = std::collections::HashSet::new();
+            for round in 0..3u64 {
+                let mut in_round = 0u64;
+                while let Some((group, datagram)) = server.poll_transmit() {
+                    assert_eq!(group, 0);
+                    let pkt = DataPacket::from_bytes(datagram).unwrap();
+                    let seed = crate::rateless::seed_from_words(
+                        pkt.header.packet_index,
+                        pkt.header.serial,
+                    );
+                    assert_eq!(seed, round * 50 + in_round, "monotonic seed stream");
+                    assert!(seeds.insert(seed), "seed {seed} repeated");
+                    in_round += 1;
+                }
+                assert_eq!(in_round, 50, "one k-symbol round");
+                assert!(server.round_complete());
+                server.advance_round();
+            }
+            assert_eq!(server.packets_sent(), 150);
+        }
+    }
+
+    #[test]
+    fn rateless_rejects_layered_configs() {
+        for (layers, sp) in [(2usize, 0usize), (1, 4), (4, 4)] {
+            let result = ServerSession::new(
+                &[1u8; 10_000],
+                SessionConfig {
+                    rateless: RatelessMode::Lt,
+                    layers,
+                    sp_interval: sp,
+                    burst_rounds: sp.saturating_sub(3),
+                    ..SessionConfig::default()
+                },
+            );
+            assert!(
+                matches!(result, Err(df_core::TornadoError::InvalidParameters { .. })),
+                "rateless with layers = {layers}, sp = {sp} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //! CI fuzz smoke: deterministic, a few seconds, no corpus to manage.
 
 use bytes::Bytes;
+use df_core::{LtEncoder, PacketizedFile, LT_DEFAULT_C, LT_DEFAULT_DELTA};
 use df_proto::{
-    ClientEvent, ClientSession, ControlRequest, ControlResponse, DataPacket, FountainServer,
-    PacketHeader, ServerSession, SessionConfig, HEADER_LEN,
+    seed_to_words, ClientEvent, ClientSession, ControlRequest, ControlResponse, DataPacket,
+    FountainServer, PacketHeader, RatelessMode, RatelessReceiver, ServerSession, SessionConfig,
+    HEADER_LEN,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
 
 fn random_file(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -308,6 +311,237 @@ fn mutated_control_round_trips_parse_or_reject_but_never_panic() {
             ControlResponse::from_bytes(&reply).is_some(),
             "the control server must always answer with a well-formed frame"
         );
+    }
+}
+
+fn rateless_pair(
+    data: &[u8],
+    mode: RatelessMode,
+    code_seed: u64,
+) -> (ServerSession, ClientSession) {
+    let server = ServerSession::new(
+        data,
+        SessionConfig {
+            rateless: mode,
+            code_seed,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    let client = ClientSession::new(server.control_info().clone()).unwrap();
+    (server, client)
+}
+
+/// Frame a rateless datagram for an attacker-chosen seed.
+fn seed_frame(seed: u64, group: u32, payload: &[u8]) -> Bytes {
+    let (hi, lo) = seed_to_words(seed);
+    let header = PacketHeader {
+        packet_index: hi,
+        serial: lo,
+        group,
+    };
+    DataPacket::frame(&header, payload)
+}
+
+#[test]
+fn rateless_absurd_degree_floods_hit_the_edge_cap_not_the_heap() {
+    // The control channel announces the LT stream seed, so an attacker can
+    // grind the seed space for equations of absurd degree: each one parks
+    // ~degree edges in the decoder and — with no degree-1 symbol ever
+    // arriving — nothing peels, so the equation buffer only grows.  The edge
+    // cap must refuse the flood (`ClientEvent::Rejected`) while the buffered
+    // state is still far too small for a structural completion over garbage.
+    let data = random_file(50_000, 9); // k = 100
+    let (server, mut client) = rateless_pair(&data, RatelessMode::Lt, 41);
+    let info = server.control_info().clone();
+    assert_eq!(info.k, 100);
+    // Reconstruct the seed → equation derivation exactly as the session does,
+    // and a bare receiver to read the cap geometry off.
+    let enc = LtEncoder::new(info.k, LT_DEFAULT_C, LT_DEFAULT_DELTA, info.code_seed).unwrap();
+    let mirror = RatelessReceiver::for_lt(info.k, info.packet_size, info.code_seed).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc4b5);
+    let mut flood = Vec::new();
+    let mut edges = 0usize;
+    let mut seed = 0u64;
+    while edges <= mirror.max_edges() + 256 {
+        seed += 1;
+        let degree = enc.equation(seed).neighbors.len();
+        if degree >= 48 {
+            edges += degree;
+            flood.push(seed);
+        }
+    }
+    // Sanity on the attack shape: the edge cap bites after far fewer
+    // equations than either the equation cap or the `k` equations any
+    // decode — honest or structural-over-garbage — would need.
+    assert!(
+        flood.len() < info.k,
+        "flood of {} equations is too large to prove the edge cap fires first",
+        flood.len()
+    );
+    let mut rejected = 0u64;
+    for &seed in &flood {
+        let junk: Vec<u8> = (0..info.packet_size).map(|_| rng.gen()).collect();
+        match client.handle_datagram(seed_frame(seed, info.base_group, &junk)) {
+            ClientEvent::Rejected => rejected += 1,
+            ClientEvent::Buffered | ClientEvent::Duplicate => {}
+            other => panic!("unexpected event under a high-degree flood: {other:?}"),
+        }
+        assert!(
+            client.buffered_packets() <= client.buffer_cap(),
+            "equation buffer outgrew its cap: {} > {}",
+            client.buffered_packets(),
+            client.buffer_cap()
+        );
+    }
+    assert!(rejected > 0, "the edge cap never fired");
+    assert_eq!(client.stats().rejected(), rejected);
+    assert!(
+        !client.is_complete(),
+        "an underdetermined flood cannot decode"
+    );
+    // The same flood against the bare receiver, to watch the edge ledger
+    // itself: once `at_capacity` trips, additions stop, so pending edges
+    // can overshoot `max_edges` by at most one equation's degree (≤ k).
+    let mut mirror = mirror;
+    for &seed in &flood {
+        if !mirror.at_capacity() {
+            mirror.add(seed, vec![0u8; info.packet_size]);
+        }
+        assert!(mirror.pending_equations() <= mirror.max_equations());
+        assert!(mirror.pending_edges() < mirror.max_edges() + info.k);
+    }
+    assert!(mirror.at_capacity(), "the mirror receiver never saturated");
+}
+
+#[test]
+fn rateless_colliding_neighbor_sets_reduce_cleanly() {
+    // Distinct seeds whose equations land on the *same* neighbor set: after
+    // XOR reduction the second of each pair is the empty (degree-0) equation
+    // — the closest an attacker can get to a degree-0 symbol, since the
+    // soliton derivation itself never emits one.  With honest payloads the
+    // residual is all-zero and must be dropped as a duplicate; the session
+    // must then still finish cleanly from the ordinary stream.
+    let data = random_file(30_000, 10); // k = 60
+    let (mut server, mut client) = rateless_pair(&data, RatelessMode::Lt, 43);
+    let info = server.control_info().clone();
+    let enc = LtEncoder::new(info.k, LT_DEFAULT_C, LT_DEFAULT_DELTA, info.code_seed).unwrap();
+    let file = PacketizedFile::split(&data, info.packet_size).unwrap();
+    let mut buckets: BTreeMap<Vec<u32>, Vec<u64>> = BTreeMap::new();
+    // Grind outside the server's own monotonic seed range so the honest
+    // stream later delivers fresh seeds, not replays of the flood.
+    for seed in 1_000_000..1_030_000u64 {
+        let mut neighbors = enc.equation(seed).neighbors;
+        neighbors.sort_unstable();
+        buckets.entry(neighbors).or_default().push(seed);
+    }
+    let colliding: Vec<Vec<u64>> = buckets
+        .into_values()
+        .filter(|seeds| seeds.len() >= 2)
+        .take(8)
+        .collect();
+    assert!(
+        !colliding.is_empty(),
+        "no neighbor-set collisions found in 30k seeds"
+    );
+    for group in &colliding {
+        for &seed in group {
+            let payload = enc.encode_symbol(seed, file.packets()).unwrap();
+            let event = client.handle_datagram(seed_frame(seed, info.base_group, &payload));
+            assert!(
+                matches!(event, ClientEvent::Buffered | ClientEvent::Duplicate),
+                "colliding seed {seed} produced {event:?}"
+            );
+            assert!(client.buffered_packets() <= client.buffer_cap());
+        }
+    }
+    // Same collisions with *garbage* payloads against a fresh client: the
+    // empty equation now carries a nonzero residual (an inconsistency no
+    // honest stream can produce).  A handful of equations is far below any
+    // completion, so the only legal outcomes are buffer/duplicate.
+    let (_, mut poisoned) = rateless_pair(&data, RatelessMode::Lt, 43);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xdead);
+    for group in &colliding {
+        for &seed in group {
+            let junk: Vec<u8> = (0..info.packet_size).map(|_| rng.gen()).collect();
+            let event = poisoned.handle_datagram(seed_frame(seed, info.base_group, &junk));
+            assert!(
+                matches!(event, ClientEvent::Buffered | ClientEvent::Duplicate),
+                "inconsistent empty equation produced {event:?}"
+            );
+        }
+    }
+    assert!(!poisoned.is_complete());
+    // The first client saw only honestly-encoded payloads, so the ordinary
+    // stream must still converge to the exact file.
+    let mut rounds = 0;
+    while !client.is_complete() {
+        while let Some((_group, dgram)) = server.poll_transmit() {
+            if client.handle_datagram(dgram) == ClientEvent::Complete {
+                break;
+            }
+        }
+        server.advance_round();
+        rounds += 1;
+        assert!(rounds < 50, "collision flood poisoned the session");
+    }
+    assert_eq!(client.file().unwrap(), &data[..]);
+}
+
+#[test]
+fn rateless_sessions_are_total_over_forged_seeds_and_noise() {
+    // Pure hostility, both modes: random seeds with garbage payloads,
+    // wrong-length payloads, truncations and raw noise.  The wire format has
+    // no integrity tag, so a structural completion over garbage is legal —
+    // the invariants are totality and the memory bound, nothing else.
+    for (mode, file_seed) in [(RatelessMode::Lt, 11), (RatelessMode::Raptor, 12)] {
+        let data = random_file(40_000, file_seed);
+        let (server, mut client) = rateless_pair(&data, mode, 47);
+        let info = server.control_info().clone();
+        let payload_len = match mode {
+            // Raptor symbols ride at the (possibly padded) intermediate
+            // length; the announced packet size is close enough to land in
+            // both the accepted and the length-rejected branches.
+            RatelessMode::Raptor => info.packet_size + info.packet_size % 2,
+            _ => info.packet_size,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0x7e57 + file_seed);
+        for i in 0..3_000usize {
+            let dgram = match i % 4 {
+                // Forged random seed, correct-length garbage payload.
+                0 => {
+                    let junk: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+                    seed_frame(rng.gen(), info.base_group, &junk)
+                }
+                // Wrong-length payload (must be ignored before the decoder).
+                1 => {
+                    let len = rng.gen_range(0..payload_len * 2);
+                    let junk: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                    seed_frame(rng.gen(), info.base_group, &junk)
+                }
+                // Truncated honest-looking frame.
+                2 => {
+                    let junk: Vec<u8> = (0..payload_len).map(|_| rng.gen()).collect();
+                    let full = seed_frame(rng.gen(), info.base_group, &junk);
+                    let cut = rng.gen_range(0..full.len());
+                    full.slice(0..cut)
+                }
+                // Raw noise.
+                _ => {
+                    let len = rng.gen_range(0..700usize);
+                    Bytes::from((0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>())
+                }
+            };
+            let event = client.handle_datagram(dgram);
+            assert!(
+                !matches!(event, ClientEvent::Join { .. } | ClientEvent::Leave { .. }),
+                "rateless sessions have no layers to join: {event:?}"
+            );
+            assert!(
+                client.buffered_packets() <= client.buffer_cap(),
+                "memory bound violated under {mode:?} noise"
+            );
+        }
     }
 }
 

@@ -41,7 +41,11 @@ fn seeded_payload(mut state: u64, len: usize) -> Vec<u8> {
 /// evicts constantly, and every 4th round all threads share one window so the
 /// same key is looked up, inserted and read concurrently.
 fn pattern(t: usize, r: usize, k: usize, n: usize) -> Vec<usize> {
-    let start = if r.is_multiple_of(4) { r % n } else { (t * 5 + r) % n };
+    let start = if r.is_multiple_of(4) {
+        r % n
+    } else {
+        (t * 5 + r) % n
+    };
     let mut idx: Vec<usize> = (0..k).map(|i| (start + i) % n).collect();
     idx.sort_unstable();
     idx

@@ -107,7 +107,10 @@ pub fn layered_population_experiment(
         },
     )
     .expect("valid layered session configuration");
-    let blocks = server.schedule().num_blocks();
+    let blocks = server
+        .schedule()
+        .expect("carousel sessions have a schedule")
+        .num_blocks();
     let net = SimMulticast::new(seed);
     let mut tx = net.endpoint(0.0);
     let mut receivers: Vec<Receiver> = bottlenecks

@@ -38,6 +38,7 @@ pub mod hostile;
 pub mod interleaved;
 pub mod layered;
 pub mod loss;
+pub mod rateless;
 pub mod receiver;
 pub mod swarm;
 pub mod trace;
@@ -56,6 +57,10 @@ pub use hostile::{
 pub use interleaved::InterleavedCode;
 pub use layered::{layered_population_experiment, LayeredOutcome};
 pub use loss::{BernoulliLoss, GilbertElliottLoss, LossModel};
+pub use rateless::{
+    late_join_experiment, rateless_overhead_experiment, LateJoinOutcome, LateJoinReceiver,
+    RatelessOverheadOutcome,
+};
 pub use receiver::{simulate_interleaved_receiver, simulate_tornado_receiver, ReceiverOutcome};
 pub use swarm::{swarm_experiment, SwarmOutcome};
 pub use trace::{ReceiverTrace, TraceSet};

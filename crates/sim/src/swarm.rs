@@ -86,8 +86,8 @@ pub fn swarm_experiment(
         },
     )
     .expect("swarm server session encodes");
-    let n = server.code().n();
     let info = server.control_info().clone();
+    let n = info.n;
 
     let net = SimMulticast::new(seed);
     let mut el: EventLoop<df_proto::SimEndpoint> = EventLoop::new();

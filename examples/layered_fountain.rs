@@ -132,13 +132,25 @@ fn run_receiver(
     assert_eq!(client.file().unwrap(), expected, "[{name}] corrupt file");
     let stats = client.stats();
     println!(
-        "[{name}] complete in {:.2?}: level {}, {} received / {} distinct (eta {:.3})",
+        "[{name}] complete in {:.2?}: level {}, {} received / {} distinct (eta {:.3}, eta_d {:.3})",
         t0.elapsed(),
         client.subscription_level().unwrap(),
         stats.received(),
         stats.distinct(),
-        stats.reception_efficiency()
+        stats.reception_efficiency(),
+        stats.distinctness_efficiency()
     );
+    // The carousel's structural cost: once loss or a late join forces the
+    // receiver across multiple cycles, repeats accumulate and eta_d decays
+    // toward the sampling-with-replacement floor of 1 - 1/e ≈ 0.64.  A
+    // rateless session (`SessionConfig::rateless`) never repeats a seed, so
+    // its eta_d is exactly 1.0 — see examples/rateless_fountain.rs.
+    if stats.distinctness_efficiency() < 1.0 {
+        println!(
+            "[{name}] duplicates cost eta_d {:.3} (carousel floor ≈ 0.64; rateless mode holds 1.0)",
+            stats.distinctness_efficiency()
+        );
+    }
 }
 
 fn main() {

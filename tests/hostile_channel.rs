@@ -52,7 +52,7 @@ fn event_loop_completes_a_fleet_behind_hostile_channels() {
         },
     )
     .unwrap();
-    let n = server.code().n();
+    let n = server.code().expect("carousel session").n();
     let info = server.control_info().clone();
 
     let net = SimMulticast::new(21);
