@@ -216,7 +216,7 @@ fn main() -> ExitCode {
             .find(|a| a.starts_with(prefix))
             .map(|a| a[prefix.len()..].to_string())
     };
-    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr9.json".to_string());
     let fresh_path = get("--fresh=").unwrap_or_else(|| "bench-report.json".to_string());
     let tolerance: f64 = get("--tolerance=")
         .map(|t| t.parse().expect("--tolerance must be a number"))
@@ -331,8 +331,9 @@ mod tests {
             m.keys().all(|k| !k.contains("rateless_overhead")),
             "overhead ratios are reported in the JSON but never gated: {m:?}"
         );
-        // Against a baseline without the rows, they are unshared: reported,
-        // not gated — the committed BENCH_pr6.json keeps gating unchanged.
+        // Against a baseline without the rows they are unshared: reported,
+        // not gated.  The committed BENCH_pr9.json *does* carry them, so in
+        // CI the rateless rows gate for real (see the test below).
         let cmp = compare(&sample_metrics(), &m, 0.30);
         assert!(cmp.iter().all(|c| !c.metric.starts_with("rateless")));
     }
@@ -389,7 +390,7 @@ mod tests {
         // otherwise the event-loop's headline metric is silently ungated.
         // The path is relative to the workspace root, where both CI and
         // `cargo test` run.
-        for candidate in ["BENCH_pr6.json", "../../BENCH_pr6.json"] {
+        for candidate in ["BENCH_pr9.json", "../../BENCH_pr9.json"] {
             if std::path::Path::new(candidate).exists() {
                 let report = load_report(candidate).expect("committed baseline parses");
                 assert!(report.metrics.contains_key("codes.tornado_a.encode_mbps"));
@@ -399,10 +400,19 @@ mod tests {
                         .contains_key("driver_throughput.aggregate_mbps"),
                     "the CI baseline must gate the driver row"
                 );
+                assert!(
+                    report
+                        .metrics
+                        .contains_key("rateless_throughput.lt.decode_mbps")
+                        && report
+                            .metrics
+                            .contains_key("rateless_throughput.raptor.decode_mbps"),
+                    "the CI baseline must gate the rateless rows"
+                );
                 assert!(!report.kernels.is_empty(), "kernel tiers are recorded");
                 return;
             }
         }
-        panic!("BENCH_pr6.json not found from the test working directory");
+        panic!("BENCH_pr9.json not found from the test working directory");
     }
 }

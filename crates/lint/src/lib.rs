@@ -23,6 +23,22 @@
 //! 5. **unsafe-posture** — every crate root (`crates/*/src/lib.rs`,
 //!    `shims/*/src/lib.rs`, the workspace root `src/lib.rs`) must declare
 //!    `#![forbid(unsafe_code)]` or `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! 6. **atomic-ordering** — every non-`SeqCst` memory ordering
+//!    (`Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel`) must carry a
+//!    `// ordering:` justification within the preceding
+//!    [`ORDERING_LOOKBACK`] lines.  `SeqCst` is the self-justifying default;
+//!    anything weaker is an optimization that needs its pairing argument
+//!    written down (and model-checked — see `shims/loom`).
+//! 7. **send-sync-audit** — every `unsafe impl Send`/`unsafe impl Sync` must
+//!    match a row of [`SEND_SYNC_ALLOWLIST`] verbatim (modulo whitespace),
+//!    like the FFI rule: the diff to the table is the review surface for new
+//!    thread-safety assertions.  Stale rows are errors too.
+//! 8. **lock-discipline** — a `let`-bound lock guard acquired while another
+//!    guard is still live in scope needs a `// lock-order:` note within the
+//!    preceding [`LOCK_ORDER_LOOKBACK`] lines naming the global acquisition
+//!    order — the discipline that makes the loom deadlock check
+//!    (`detects_lock_order_inversion_deadlock`) stay vacuous in production
+//!    code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -862,6 +878,272 @@ pub fn check_unsafe_posture(file: &str, lines: &[SourceLine]) -> Vec<Diagnostic>
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: non-SeqCst atomic orderings need a written pairing argument.
+// ---------------------------------------------------------------------------
+
+/// Comment lookback for an `// ordering:` justification before a non-`SeqCst`
+/// memory-ordering token.
+pub const ORDERING_LOOKBACK: usize = 4;
+
+/// The orderings that demand justification.  `SeqCst` is the safe default and
+/// exempt; everything weaker trades a reordering window for speed and must
+/// say which Release/Acquire pair (or why no pairing is needed) makes that
+/// sound.
+pub const NON_SEQCST_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+fn window_has_ordering_note(lines: &[SourceLine], at: usize) -> bool {
+    let lo = at.saturating_sub(ORDERING_LOOKBACK);
+    lines[lo..=at]
+        .iter()
+        .any(|l| l.comment.to_ascii_lowercase().contains("ordering:"))
+}
+
+/// Rule `atomic-ordering`: each line using a non-`SeqCst` ordering needs a
+/// nearby `// ordering:` comment.
+pub fn check_atomic_ordering(file: &str, lines: &[SourceLine]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(tok) = NON_SEQCST_ORDERINGS
+            .iter()
+            .find(|t| has_keyword(&line.code, t))
+        else {
+            continue;
+        };
+        if !window_has_ordering_note(lines, i) {
+            out.push(diag(
+                file,
+                i + 1,
+                "atomic-ordering",
+                format!(
+                    "`{tok}` without a `// ordering:` justification within the \
+                     preceding {ORDERING_LOOKBACK} lines (state the Release/Acquire \
+                     pairing, or use SeqCst)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: unsafe Send/Sync impl allowlist.
+// ---------------------------------------------------------------------------
+
+/// One allowlisted `unsafe impl Send`/`Sync` declaration.
+#[derive(Debug, Clone, Copy)]
+pub struct SendSyncEntry {
+    /// Repo-relative path (with `/` separators) the impl may live in.
+    pub file: &'static str,
+    /// The declaration up to (not including) its body, compared
+    /// whitespace-insensitively.
+    pub signature: &'static str,
+}
+
+/// Every `unsafe impl Send`/`unsafe impl Sync` the workspace may contain.
+///
+/// A hand-written thread-safety assertion is a proof obligation the compiler
+/// cannot check; adding one means adding a row here *in the same PR*, so the
+/// diff to this table is the review surface.  Today only the loom shim's own
+/// primitives qualify: each wraps its data in a way the model checker
+/// serializes, and each carries a SAFETY comment with the argument.
+pub const SEND_SYNC_ALLOWLIST: &[SendSyncEntry] = &[
+    SendSyncEntry {
+        file: "shims/loom/src/cell.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T>",
+    },
+    SendSyncEntry {
+        file: "shims/loom/src/cell.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T>",
+    },
+    SendSyncEntry {
+        file: "shims/loom/src/sync.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Send for Mutex<T>",
+    },
+    SendSyncEntry {
+        file: "shims/loom/src/sync.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Sync for Mutex<T>",
+    },
+    SendSyncEntry {
+        file: "shims/loom/src/sync.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Send for RwLock<T>",
+    },
+    SendSyncEntry {
+        file: "shims/loom/src/sync.rs",
+        signature: "unsafe impl<T: ?Sized + Send> Sync for RwLock<T>",
+    },
+];
+
+/// Extract `unsafe impl … Send/Sync for …` declarations (up to the body),
+/// with 1-based line numbers.
+pub fn collect_send_sync_impls(lines: &[SourceLine]) -> Vec<(usize, String)> {
+    let mut joined = String::new();
+    let mut line_starts = Vec::with_capacity(lines.len());
+    for l in lines {
+        line_starts.push(joined.len());
+        joined.push_str(&l.code);
+        joined.push('\n');
+    }
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+
+    let mut out = Vec::new();
+    for pos in keyword_positions(&joined, "unsafe").collect::<Vec<_>>() {
+        let rest = &joined[pos..];
+        let Some(after_kw) = rest.strip_prefix("unsafe") else {
+            continue;
+        };
+        if keyword_positions(after_kw.trim_start(), "impl").next() != Some(0) {
+            continue;
+        }
+        let end = rest.find(['{', ';']).map_or(rest.len(), |e| e);
+        let decl = rest[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+        // Only Send/Sync assertions are audited; other unsafe impls (e.g. a
+        // future `unsafe impl Step`) are the safety-comment rule's problem.
+        let is_send_sync = decl.contains(" Send for ") || decl.contains(" Sync for ");
+        if is_send_sync {
+            out.push((line_of(pos), decl));
+        }
+    }
+    out
+}
+
+/// Rule `send-sync-audit`: every `unsafe impl Send`/`Sync` must be in
+/// [`SEND_SYNC_ALLOWLIST`]; stale allowlist rows are flagged too.
+pub fn check_send_sync_audit(files: &[(String, Vec<SourceLine>)]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut matched = vec![false; SEND_SYNC_ALLOWLIST.len()];
+    for (file, lines) in files {
+        for (line, decl) in collect_send_sync_impls(lines) {
+            let norm = normalize_signature(&decl);
+            let hit = SEND_SYNC_ALLOWLIST
+                .iter()
+                .position(|e| e.file == file && normalize_signature(e.signature) == norm);
+            match hit {
+                Some(idx) => matched[idx] = true,
+                None => out.push(diag(
+                    file,
+                    line,
+                    "send-sync-audit",
+                    format!(
+                        "`{decl}` is not in the df-lint Send/Sync allowlist \
+                         (crates/lint/src/lib.rs SEND_SYNC_ALLOWLIST)"
+                    ),
+                )),
+            }
+        }
+    }
+    for (entry, hit) in SEND_SYNC_ALLOWLIST.iter().zip(&matched) {
+        if !hit {
+            out.push(diag(
+                "crates/lint/src/lib.rs",
+                1,
+                "send-sync-audit",
+                format!(
+                    "stale Send/Sync allowlist entry: `{}` not found in {}",
+                    entry.signature, entry.file
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: lock acquisition discipline.
+// ---------------------------------------------------------------------------
+
+/// Comment lookback for a `// lock-order:` note before a nested guard
+/// acquisition.
+pub const LOCK_ORDER_LOOKBACK: usize = 4;
+
+fn window_has_lock_order_note(lines: &[SourceLine], at: usize) -> bool {
+    let lo = at.saturating_sub(LOCK_ORDER_LOOKBACK);
+    lines[lo..=at]
+        .iter()
+        .any(|l| l.comment.to_ascii_lowercase().contains("lock-order:"))
+}
+
+/// The guard-binding shape rule 8 tracks: `let [mut] NAME = ….lock();` (or
+/// `.read();` / `.write();`).  Returns the bound name.
+///
+/// Deliberately conservative: guards acquired as temporaries (`x.lock().y`)
+/// die at end of statement and cannot deadlock across statements, and
+/// multi-line builder chains are rare enough in this tree to stay out of a
+/// lexical rule.
+fn guard_binding(code: &str) -> Option<String> {
+    let t = code.trim();
+    let rest = t.strip_prefix("let ")?;
+    if !(t.ends_with(".lock();") || t.ends_with(".read();") || t.ends_with(".write();")) {
+        return None;
+    }
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Rule `lock-discipline`: holding two `let`-bound lock guards at once
+/// requires a `// lock-order:` note on the inner acquisition.
+///
+/// Lexical scope model: a guard bound at brace depth `d` dies when the depth
+/// drops below `d` or when `drop(name)` appears; acquiring a new guard while
+/// any tracked guard is live without a nearby note is the violation.  This
+/// is the static face of the dynamic check in `shims/loom`'s deadlock
+/// detector — the note is where the global order that makes nesting safe
+/// gets written down.
+pub fn check_lock_discipline(file: &str, lines: &[SourceLine]) -> Vec<Diagnostic> {
+    struct Guard {
+        name: String,
+        depth: i64,
+    }
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, line) in lines.iter().enumerate() {
+        guards.retain(|g| !line.code.contains(&format!("drop({})", g.name)));
+        if let Some(name) = guard_binding(&line.code) {
+            if let Some(outer) = guards.last() {
+                if !window_has_lock_order_note(lines, i) {
+                    out.push(diag(
+                        file,
+                        i + 1,
+                        "lock-discipline",
+                        format!(
+                            "guard `{name}` acquired while `{}` is still live — state \
+                             the global acquisition order in a `// lock-order:` comment \
+                             within {LOCK_ORDER_LOOKBACK} lines (or drop the outer \
+                             guard first)",
+                            outer.name
+                        ),
+                    ));
+                }
+            }
+            guards.push(Guard { name, depth });
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 fn is_crate_root(rel: &str) -> bool {
     rel == "src/lib.rs"
         || ((rel.starts_with("crates/") || rel.starts_with("shims/"))
@@ -922,6 +1204,8 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
 
     for (rel, lines) in &files {
         out.extend(check_safety_comments(rel, lines));
+        out.extend(check_atomic_ordering(rel, lines));
+        out.extend(check_lock_discipline(rel, lines));
         if WIRE_FACING.contains(&rel.as_str()) {
             out.extend(check_wire_discipline(rel, lines));
         }
@@ -930,6 +1214,7 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         }
     }
     out.extend(check_ffi_allowlist(&files));
+    out.extend(check_send_sync_audit(&files));
     out.extend(check_doc_drift(root));
 
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -1088,6 +1373,55 @@ mod tests {
         assert_eq!(d[0].0, 1);
         let missing = "nothing quoted at all";
         assert_eq!(check_design_text(missing, &c).len(), 5);
+    }
+
+    #[test]
+    fn ordering_rule_exempts_seqcst_and_accepts_notes() {
+        assert!(
+            check_atomic_ordering("a.rs", &split_comments("x.store(1, Ordering::SeqCst);"))
+                .is_empty()
+        );
+        let ok = "// ordering: pairs with the Acquire in recv\nx.store(1, Ordering::Release);";
+        assert!(check_atomic_ordering("a.rs", &split_comments(ok)).is_empty());
+        let bad = "let v = x.load(Ordering::Relaxed);";
+        let d = check_atomic_ordering("a.rs", &split_comments(bad));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        // Inside a string literal: not a use.
+        assert!(
+            check_atomic_ordering("a.rs", &split_comments("let s = \"Ordering::Relaxed\";"))
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn send_sync_impls_are_collected_across_lines() {
+        let src =
+            "unsafe impl<T: ?Sized + Send> Sync\n    for Mutex<T> {}\nunsafe impl Step for X {}";
+        let got = collect_send_sync_impls(&split_comments(src));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, 1);
+        assert_eq!(
+            normalize_signature(&got[0].1),
+            normalize_signature("unsafe impl<T: ?Sized + Send> Sync for Mutex<T>")
+        );
+    }
+
+    #[test]
+    fn lock_rule_tracks_drops_and_scopes() {
+        let bad = "let a = x.lock();\nlet b = y.lock();";
+        let d = check_lock_discipline("l.rs", &split_comments(bad));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        let ok = "let a = x.lock();\n// lock-order: x before y, always\nlet b = y.lock();";
+        assert!(check_lock_discipline("l.rs", &split_comments(ok)).is_empty());
+        let dropped = "let a = x.lock();\ndrop(a);\nlet b = y.lock();";
+        assert!(check_lock_discipline("l.rs", &split_comments(dropped)).is_empty());
+        let scoped = "{\n    let a = x.lock();\n}\nlet b = y.lock();";
+        assert!(check_lock_discipline("l.rs", &split_comments(scoped)).is_empty());
+        // Temporaries (no `let` binding) are not tracked.
+        let temp = "x.lock().push(1);\nlet b = y.lock();";
+        assert!(check_lock_discipline("l.rs", &split_comments(temp)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Fixture for the `atomic-ordering` rule: one unjustified non-SeqCst
+//! ordering (the violation), one justified, and one SeqCst (exempt).
+//! Never compiled; only scanned by `lint_rules.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn violating(flag: &AtomicUsize) -> usize {
+    flag.load(Ordering::Acquire)
+}
+
+fn clean(flag: &AtomicUsize) {
+    // ordering: Release pairs with the Acquire load in `violating`.
+    flag.store(1, Ordering::Release);
+    flag.store(2, Ordering::SeqCst);
+}

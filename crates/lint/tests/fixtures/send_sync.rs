@@ -1,0 +1,9 @@
+//! Fixture for the `send-sync-audit` rule: a thread-safety assertion that is
+//! not in `SEND_SYNC_ALLOWLIST`.  The SAFETY comment is present (so the
+//! safety-comment rule would pass) precisely to show the audit is gated by
+//! the allowlist table, not by prose.  Never compiled; only scanned.
+
+struct RawHandle(*mut u8);
+
+// SAFETY: forged — a raw pointer is not Send just because we say so.
+unsafe impl Send for RawHandle {}

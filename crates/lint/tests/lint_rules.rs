@@ -9,8 +9,9 @@
 use std::path::{Path, PathBuf};
 
 use df_lint::{
-    check_design_text, check_ffi_allowlist, check_safety_comments, check_unsafe_posture,
-    check_wire_discipline, run, split_comments, WireConstants,
+    check_atomic_ordering, check_design_text, check_ffi_allowlist, check_lock_discipline,
+    check_safety_comments, check_send_sync_audit, check_unsafe_posture, check_wire_discipline, run,
+    split_comments, WireConstants,
 };
 
 fn fixture(name: &str) -> (String, Vec<df_lint::SourceLine>) {
@@ -111,6 +112,49 @@ fn doc_drift_fires_on_seeded_control_version_drift() {
     let diags = check_design_text(&drifted, &consts);
     assert!(!diags.is_empty());
     assert!(diags.iter().all(|(line, _)| *line > 0));
+}
+
+#[test]
+fn atomic_ordering_rule_fires_only_on_the_unjustified_line() {
+    let (file, lines) = fixture("atomic_ordering.rs");
+    let diags = check_atomic_ordering(&file, &lines);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].file, file);
+    assert_eq!(diags[0].line, 8, "the bare Acquire load");
+    assert_eq!(diags[0].rule, "atomic-ordering");
+    assert!(diags[0].message.contains("Ordering::Acquire"));
+    // The justified Release and the SeqCst store stayed silent.
+}
+
+#[test]
+fn send_sync_rule_fires_on_unlisted_impl_and_stale_rows() {
+    let (_, lines) = fixture("send_sync.rs");
+    let files = vec![("crates/evil/src/lib.rs".to_string(), lines)];
+    let diags = check_send_sync_audit(&files);
+    let forged: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file == "crates/evil/src/lib.rs")
+        .collect();
+    assert_eq!(forged.len(), 1, "{diags:?}");
+    assert_eq!(forged[0].line, 9);
+    assert_eq!(forged[0].rule, "send-sync-audit");
+    assert!(forged[0].message.contains("RawHandle"));
+    // With none of the loom shim files present, every allowlist row is stale.
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("stale Send/Sync allowlist entry")));
+}
+
+#[test]
+fn lock_discipline_rule_fires_only_on_the_noteless_nesting() {
+    let (file, lines) = fixture("lock_discipline.rs");
+    let diags = check_lock_discipline(&file, &lines);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].file, file);
+    assert_eq!(diags[0].line, 9, "the second guard in `violating`");
+    assert_eq!(diags[0].rule, "lock-discipline");
+    assert!(diags[0].message.contains("`gb`") && diags[0].message.contains("`ga`"));
+    // The noted nesting, drop-first, and scoped patterns stayed silent.
 }
 
 #[test]

@@ -48,6 +48,8 @@
 //! multicast bandwidth — and the slot's completion callback, if any, fires
 //! once with the finished session.
 
+pub mod queue;
+
 use crate::client::{ClientEvent, ClientSession};
 use crate::server::{FountainServer, ServerSession};
 use crate::transport::{Readiness, Transport};

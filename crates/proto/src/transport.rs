@@ -17,12 +17,11 @@
 //! is the loss the fountain code exists to absorb) and `recv` never blocks:
 //! the I/O driver owns the socket/channel and decides when to poll.
 
+use crate::sync::{Arc, Mutex};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::sync::Arc;
 
 /// How an I/O driver can learn that a transport has datagrams waiting,
 /// without spinning on [`Transport::try_recv`].

@@ -1,0 +1,115 @@
+//! Shared cache of inverted decode submatrices, keyed by erasure pattern.
+//!
+//! Split out of `vandermonde.rs` so the model-check suite can drive it
+//! directly: under `--cfg df_check` this module is public and its lock/Arc
+//! types come from the `loom` shim (see [`crate::sync`]), letting
+//! `tests/model_check.rs` exhaustively explore insert/evict/hit races at the
+//! capacity boundary — the interleavings `cache_stress.rs` only samples.
+//!
+//! The hit path takes a **read** lock: carousel receivers converge on one or
+//! two erasure patterns, so after warm-up every decode is a cache hit and
+//! read-read concurrency is the common case (the `vandermonde_repeat` bench
+//! row measures exactly this path).  Only a miss — which already paid an
+//! `O(k³)` inversion outside any lock — takes the write lock to insert.
+
+use crate::code::RsError;
+use crate::sync::{Arc, RwLock};
+use df_gf::{Field, Matrix};
+use std::collections::HashMap;
+
+/// How many erasure patterns' inverted submatrices to keep per code.
+///
+/// Receivers of a carousel see few distinct patterns (often exactly one — the
+/// set of packets that survived their loss process), so a handful of entries
+/// removes the `O(k³)` inversion from every decode after the first.  The k×k
+/// inverse for a large GF(2^16) code is megabytes, so the cap is small and
+/// eviction is wholesale rather than LRU bookkeeping.
+pub(crate) const INVERSE_CACHE_CAP: usize = 8;
+
+/// Map from a sorted received-index pattern to the shared inverse of its
+/// decode submatrix.
+type PatternMap<F> = HashMap<Vec<usize>, Arc<Matrix<F>>>;
+
+/// Cache of inverted decode submatrices keyed by the sorted pattern of
+/// received packet indices.
+///
+/// Interior mutability lives behind an `Arc`, so clones of a code share one
+/// cache and `decode_into(&self, ...)` stays `&self` (the `ErasureCode` trait
+/// requires `Send + Sync`).
+pub struct InverseCache<F: Field> {
+    map: Arc<RwLock<PatternMap<F>>>,
+    cap: usize,
+}
+
+impl<F: Field> InverseCache<F> {
+    /// A cache with the production capacity ([`INVERSE_CACHE_CAP`]).
+    pub fn new() -> Self {
+        Self::with_cap(INVERSE_CACHE_CAP)
+    }
+
+    /// A cache with an explicit capacity — the model-check suite shrinks it
+    /// to 1–2 entries so the eviction race is reachable in a tiny state
+    /// space.
+    pub fn with_cap(cap: usize) -> Self {
+        InverseCache {
+            map: Arc::new(RwLock::new(HashMap::new())),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Fetch the cached inverse for `rows`, or build, cache and return it.
+    ///
+    /// The hit path holds only the read lock; the build runs outside any
+    /// lock (a concurrent decode of a new pattern must not block decodes of
+    /// cached patterns behind an `O(k³)` inversion).  Two threads missing on
+    /// the same pattern may both build — benign: the values are identical
+    /// and the second insert just replaces the first `Arc`.
+    pub fn get_or_build(
+        &self,
+        rows: &[usize],
+        build: impl FnOnce() -> Result<Matrix<F>, RsError>,
+    ) -> Result<Arc<Matrix<F>>, RsError> {
+        if let Some(inv) = self.map.read().get(rows) {
+            return Ok(inv.clone());
+        }
+        let inv = Arc::new(build()?);
+        let mut map = self.map.write();
+        if map.len() >= self.cap {
+            map.clear();
+        }
+        map.insert(rows.to_vec(), inv.clone());
+        Ok(inv)
+    }
+
+    /// Number of cached patterns (never exceeds the capacity).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache holds no patterns.
+    #[cfg_attr(not(df_check), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<F: Field> Default for InverseCache<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: Field> Clone for InverseCache<F> {
+    fn clone(&self) -> Self {
+        InverseCache {
+            map: self.map.clone(),
+            cap: self.cap,
+        }
+    }
+}
+
+impl<F: Field> std::fmt::Debug for InverseCache<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InverseCache({} patterns)", self.len())
+    }
+}

@@ -12,77 +12,9 @@
 //! byte where `x` is the number of missing source packets — the costs the
 //! paper summarises in Table 1.
 
+use crate::cache::InverseCache;
 use crate::code::{check_received, check_source, reset_copy, reset_zeroed, ErasureCode, RsError};
 use df_gf::{Field, Matrix, GF256, GF65536};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::Arc;
-
-/// How many erasure patterns' inverted submatrices to keep per code.
-///
-/// Receivers of a carousel see few distinct patterns (often exactly one — the
-/// set of packets that survived their loss process), so a handful of entries
-/// removes the `O(k³)` inversion from every decode after the first.  The k×k
-/// inverse for a large GF(2^16) code is megabytes, so the cap is small and
-/// eviction is wholesale rather than LRU bookkeeping.
-const INVERSE_CACHE_CAP: usize = 8;
-
-/// Map from a sorted received-index pattern to the shared inverse of its
-/// decode submatrix.
-type PatternMap<F> = HashMap<Vec<usize>, Arc<Matrix<F>>>;
-
-/// Cache of inverted decode submatrices keyed by the sorted pattern of
-/// received packet indices.
-///
-/// Interior mutability lives behind an `Arc`, so clones of a code share one
-/// cache and `decode_into(&self, ...)` stays `&self` (the `ErasureCode` trait
-/// requires `Send + Sync`).
-struct InverseCache<F: Field> {
-    map: Arc<Mutex<PatternMap<F>>>,
-}
-
-impl<F: Field> InverseCache<F> {
-    fn new() -> Self {
-        InverseCache {
-            map: Arc::new(Mutex::new(HashMap::new())),
-        }
-    }
-
-    /// Fetch the cached inverse for `rows`, or build, cache and return it.
-    ///
-    /// The build runs outside the lock: a concurrent decode of a new pattern
-    /// must not block decodes of cached patterns behind an `O(k³)` inversion.
-    fn get_or_build(
-        &self,
-        rows: &[usize],
-        build: impl FnOnce() -> Result<Matrix<F>, RsError>,
-    ) -> Result<Arc<Matrix<F>>, RsError> {
-        if let Some(inv) = self.map.lock().get(rows) {
-            return Ok(inv.clone());
-        }
-        let inv = Arc::new(build()?);
-        let mut map = self.map.lock();
-        if map.len() >= INVERSE_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(rows.to_vec(), inv.clone());
-        Ok(inv)
-    }
-}
-
-impl<F: Field> Clone for InverseCache<F> {
-    fn clone(&self) -> Self {
-        InverseCache {
-            map: self.map.clone(),
-        }
-    }
-}
-
-impl<F: Field> std::fmt::Debug for InverseCache<F> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "InverseCache({} patterns)", self.map.lock().len())
-    }
-}
 
 /// Shared implementation for generator-matrix-based systematic MDS codes.
 ///

@@ -1,7 +1,8 @@
 //! Multi-thread stress of the shared Vandermonde inverse-decode cache.
 //!
-//! The cache (`InverseCache`: `Arc<Mutex<HashMap<pattern, Arc<Matrix>>>>`,
-//! capacity 8, wholesale eviction, inversion built *outside* the lock) is the
+//! The cache (`InverseCache`: `Arc<RwLock<HashMap<pattern, Arc<Matrix>>>>`,
+//! read-lock hit path, capacity 8, wholesale eviction, inversion built
+//! *outside* any lock) is the
 //! one piece of cross-thread shared state in the codec today, and exactly the
 //! shape the ROADMAP's multi-core sharding will multiply.  This test hammers
 //! it from 8 threads so ThreadSanitizer (CI `sanitizers` job) gets real

@@ -1,0 +1,120 @@
+//! Exhaustive model-check of [`df_rs::cache::InverseCache`] under the `loom`
+//! shim (`shims/loom`): every interleaving of the insert/evict/hit protocol at
+//! the capacity boundary, not the random sample `cache_stress.rs` takes.
+//!
+//! Build and run with `RUSTFLAGS="--cfg df_check" cargo test -p df-rs --test
+//! model_check` — the CI `model-check` job does exactly this.  Under that cfg
+//! the cache's `Arc`/`RwLock` resolve to the loom shim via `df_rs::sync`, so
+//! each lock acquire/release is a schedule point the checker enumerates.
+//!
+//! Flake guard: every test sets an explicit `max_branches` cap so a state-space
+//! blow-up fails loudly ("exploration truncated") instead of hanging CI, and
+//! asserts via `explored()` that the cap was not even approached.
+#![cfg(df_check)]
+
+use df_gf::{Matrix, GF256};
+use df_rs::cache::InverseCache;
+use loom::model::Builder;
+use loom::thread;
+
+/// k=2 invertible matrix for pattern `tag`: distinct Vandermonde points keyed
+/// off the tag so different patterns cache different values.
+fn submatrix(tag: u8) -> Matrix<GF256> {
+    let points = [
+        GF256(tag.wrapping_mul(2) + 1),
+        GF256(tag.wrapping_mul(2) + 2),
+    ];
+    Matrix::vandermonde(&points, 2)
+}
+
+fn build(tag: u8) -> Matrix<GF256> {
+    submatrix(tag).inverse().unwrap()
+}
+
+/// The identity check a decode would perform: cached inverse times the
+/// original submatrix must be I, whatever interleaving produced the entry.
+fn assert_is_inverse(tag: u8, inv: &Matrix<GF256>) {
+    assert!(
+        inv.mul(&submatrix(tag)).unwrap().is_identity(),
+        "cached matrix for pattern {tag} is not the inverse"
+    );
+}
+
+fn checked(max_branches: usize, f: impl Fn() + Send + Sync + 'static) {
+    let explored = Builder {
+        max_branches,
+        ..Builder::new()
+    }
+    .explored(f);
+    // Flake guard: if the state space creeps toward the cap, fail while the
+    // run is still fast rather than when it starts truncating.
+    assert!(
+        explored <= max_branches / 2,
+        "state space grew to {explored} schedules (cap {max_branches}); \
+         shrink the test or justify a bigger cap"
+    );
+}
+
+/// Two threads miss on the *same* pattern: both may build (benign
+/// double-build is part of the contract), both must get a correct inverse,
+/// and exactly one entry remains.
+#[test]
+fn concurrent_misses_on_one_pattern_agree() {
+    checked(2_000, || {
+        let cache = InverseCache::<GF256>::with_cap(2);
+        let c2 = cache.clone();
+        let t = thread::spawn(move || {
+            let inv = c2.get_or_build(&[0, 1], || Ok(build(7))).unwrap();
+            assert_is_inverse(7, &inv);
+        });
+        let inv = cache.get_or_build(&[0, 1], || Ok(build(7))).unwrap();
+        assert_is_inverse(7, &inv);
+        t.join().unwrap();
+        assert_eq!(cache.len(), 1);
+    });
+}
+
+/// Insert/evict race at the capacity boundary (`cap = 1`): one thread's
+/// insert of pattern B wholesale-evicts the prefilled pattern A while another
+/// thread is reading A.  The reader must either hit A's entry or rebuild it —
+/// never observe a torn or wrong matrix — and the cache never exceeds cap.
+#[test]
+fn eviction_race_keeps_entries_correct() {
+    checked(4_000, || {
+        let cache = InverseCache::<GF256>::with_cap(1);
+        // Prefill pattern A (no concurrency yet — loom explores from here).
+        cache.get_or_build(&[0, 1], || Ok(build(1))).unwrap();
+        let c2 = cache.clone();
+        let t = thread::spawn(move || {
+            // Pattern B's insert hits the cap and clears the map.
+            let inv = c2.get_or_build(&[1, 2], || Ok(build(2))).unwrap();
+            assert_is_inverse(2, &inv);
+        });
+        // Concurrent lookup of A: hit before the eviction or rebuild after.
+        let inv = cache.get_or_build(&[0, 1], || Ok(build(1))).unwrap();
+        assert_is_inverse(1, &inv);
+        t.join().unwrap();
+        assert!(cache.len() <= 1, "cache overflowed its capacity");
+        assert!(!cache.is_empty(), "both inserts lost");
+    });
+}
+
+/// An `Arc` handed out by a hit stays valid across a concurrent eviction:
+/// the reader grabs A, the evictor clears the map, the reader's matrix must
+/// still verify.  Also checks two distinct patterns under cap 2 never evict.
+#[test]
+fn held_arc_survives_eviction_and_cap_two_fits_both() {
+    checked(4_000, || {
+        let cache = InverseCache::<GF256>::with_cap(2);
+        let c2 = cache.clone();
+        let t = thread::spawn(move || {
+            let inv = c2.get_or_build(&[2, 3], || Ok(build(9))).unwrap();
+            assert_is_inverse(9, &inv);
+        });
+        let inv = cache.get_or_build(&[0, 1], || Ok(build(4))).unwrap();
+        t.join().unwrap();
+        // Both patterns fit under cap 2: no eviction, both entries live.
+        assert_eq!(cache.len(), 2);
+        assert_is_inverse(4, &inv);
+    });
+}

@@ -1,0 +1,56 @@
+//! Model-checked counterpart of `std::cell::UnsafeCell`: every access is a
+//! scheduling point checked for happens-before data races.
+
+use crate::rt::{self, ObjRef, ObjState};
+
+/// An unsynchronized cell whose accesses are race-checked by the model.
+///
+/// A read (`with`) and a write (`with_mut`) from different threads without a
+/// happens-before edge between them (via a lock or an Acquire/Release atomic
+/// pair) fails the model with a "data race" diagnostic and a replayable
+/// schedule.
+#[derive(Debug)]
+pub struct UnsafeCell<T: ?Sized> {
+    obj: ObjRef,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model scheduler runs exactly one thread at a time and fails any
+// schedule containing an unsynchronized concurrent access pair, so the cell's
+// data is never touched from two OS threads simultaneously; `T: Send` bounds
+// keep the payload transferable.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: see the `Send` impl above — shared references only hand out raw
+// pointers whose dereference the model serializes and race-checks.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Create a race-checked cell; must be called inside `loom::model`.
+    pub fn new(data: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            obj: ObjRef::register(ObjState::new_cell()),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Consume the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Immutable access: records a read and hands the closure a const
+    /// pointer.  Fails the model if the read races a concurrent write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::cell_access(&self.obj, false);
+        f(self.data.get())
+    }
+
+    /// Mutable access: records a write and hands the closure a mut pointer.
+    /// Fails the model if the write races any concurrent access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::cell_access(&self.obj, true);
+        f(self.data.get())
+    }
+}

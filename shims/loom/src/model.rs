@@ -1,0 +1,329 @@
+//! The schedule explorer: depth-first search over the tree of scheduling
+//! decisions, with DPOR-lite pruning (alternatives are only considered for
+//! threads whose pending operation *conflicts* with another pending
+//! operation — permutations of commuting steps are never revisited) and an
+//! optional preemption bound (switching away from a still-enabled,
+//! non-yielding thread counts as one preemption).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::rt::{self, ExecState, Execution, ModelFailure, START_OP};
+
+/// Explorer configuration; the loom-compatible entry point is
+/// [`Builder::check`], and [`Builder::explored`] additionally reports how
+/// many schedules the search visited (shim extension, used by self-tests).
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum number of model threads alive at once (including the root).
+    pub max_threads: usize,
+    /// Hard cap on explored schedules: exceeding it *fails* the model with an
+    /// "exploration truncated" panic rather than silently passing on a
+    /// partial search, so CI time stays deterministic.
+    pub max_branches: usize,
+    /// Maximum context switches away from a runnable thread per schedule;
+    /// `None` explores every conflict-distinct interleaving.
+    pub preemption_bound: Option<usize>,
+    /// Per-schedule step budget; exceeding it fails the model (livelock).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            max_threads: 5,
+            max_branches: 10_000,
+            preemption_bound: None,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default exploration limits.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Model-check `f`, exhaustively exploring conflict-distinct schedules.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.explored(f);
+    }
+
+    /// Like [`check`](Builder::check), returning the number of schedules the
+    /// search visited (shim extension over upstream loom).
+    pub fn explored<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        rt::install_quiet_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut path: Vec<Branch> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            schedules += 1;
+            if schedules > self.max_branches {
+                panic!(
+                    "loom (shim): exploration truncated after {} schedules — raise \
+                     Builder::max_branches or shrink the model",
+                    schedules - 1
+                );
+            }
+            run_one(self, &f, &mut path, schedules);
+            loop {
+                match path.last_mut() {
+                    None => return schedules,
+                    Some(branch) => {
+                        if let Some(next) = branch.alternatives.pop() {
+                            branch.done.push(branch.chosen);
+                            branch.chosen = next;
+                            break;
+                        }
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One decision point along the DFS path.
+///
+/// `alternatives` is filled *backwards* (classic DPOR): when a later step
+/// executes an operation conflicting with the step taken here, its thread is
+/// added as an alternative to revisit — so races hidden behind a thread's
+/// non-conflicting prefix are still reached, while schedules that only
+/// permute commuting steps are never generated.
+struct Branch {
+    chosen: usize,
+    alternatives: Vec<usize>,
+    /// Threads already explored at this decision (avoids re-adding them).
+    done: Vec<usize>,
+    /// Enabled set when the decision was first reached.
+    enabled: Vec<usize>,
+    /// `Some(p)` when switching away from `p` here costs a preemption.
+    preempt_against: Option<usize>,
+    /// Preemptions spent on the path before this decision.
+    preemptions: usize,
+}
+
+enum Outcome {
+    Done,
+    Abort,
+    Failed(String),
+}
+
+fn is_enabled(st: &ExecState, tid: usize) -> bool {
+    let op = match st.threads[tid].pending {
+        Some(op) => op,
+        None => return false,
+    };
+    match op.kind {
+        rt::OpKind::LockAcquire { write } => match &st.objects[op.obj as usize] {
+            rt::ObjState::Lock { owner, readers, .. } => {
+                owner.is_none() && (!write || readers.is_empty())
+            }
+            _ => true,
+        },
+        rt::OpKind::Join { target } => st.threads[target as usize].finished,
+        _ => true,
+    }
+}
+
+fn run_one(
+    builder: &Builder,
+    f: &Arc<dyn Fn() + Send + Sync>,
+    path: &mut Vec<Branch>,
+    schedule_no: usize,
+) {
+    let exec = Arc::new(Execution::new(builder.max_steps, builder.max_threads));
+    rt::with_state(&exec, |st| {
+        st.threads.push(rt::ThreadState::default());
+        st.threads[0].pending = Some(START_OP);
+    });
+    let root: rt::ThreadBody = {
+        let f = f.clone();
+        Box::new(move || {
+            f();
+            Box::new(()) as Box<dyn Any + Send>
+        })
+    };
+    let handle = rt::spawn_os_thread(exec.clone(), 0, root);
+    rt::with_state(&exec, |st| st.os_handles.push(handle));
+
+    let mut step_idx = 0usize;
+    let mut preemptions = 0usize;
+    let mut prev: Option<usize> = None;
+    let outcome = loop {
+        let mut st = exec.lock();
+        // Wait for quiescence: every live thread parked on its next op.
+        let quiesced = loop {
+            if st.abort {
+                break false;
+            }
+            if st.granted.is_none() && st.threads.iter().all(|t| t.finished || t.pending.is_some())
+            {
+                break true;
+            }
+            st = exec.wait_state(st);
+        };
+        if !quiesced {
+            break Outcome::Abort;
+        }
+        if st.threads.iter().all(|t| t.finished) {
+            break Outcome::Done;
+        }
+        let enabled: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| is_enabled(&st, t))
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.finished)
+                .map(|(i, t)| format!("t{i} blocked on {:?}", t.pending.map(|o| o.kind)))
+                .collect();
+            st.abort = true;
+            exec.notify();
+            break Outcome::Failed(format!("deadlock: {}", blocked.join("; ")));
+        }
+        // Candidate order: the previous thread first (run-to-completion
+        // default), then non-yielding threads by id, yielding threads last.
+        let mut candidates = enabled.clone();
+        candidates.sort_by_key(|&t| {
+            let is_prev = Some(t) == prev && !st.threads[t].yielded;
+            (!is_prev, st.threads[t].yielded, t)
+        });
+        let preempt_against = match prev {
+            Some(p) if !st.threads[p].finished && !st.threads[p].yielded && is_enabled(&st, p) => {
+                Some(p)
+            }
+            _ => None,
+        };
+        let chosen = if step_idx < path.len() {
+            let c = path[step_idx].chosen;
+            if !enabled.contains(&c) {
+                st.abort = true;
+                exec.notify();
+                break Outcome::Failed(format!(
+                    "schedule replay diverged at step {step_idx} (t{c} not enabled) — the \
+                     model is nondeterministic; avoid wall-clock or random input in model()"
+                ));
+            }
+            c
+        } else {
+            let default = candidates[0];
+            path.push(Branch {
+                chosen: default,
+                alternatives: Vec::new(),
+                done: Vec::new(),
+                enabled: enabled.clone(),
+                preempt_against,
+                preemptions,
+            });
+            default
+        };
+        // DPOR backward update: the op about to run marks the most recent
+        // earlier conflicting step; re-exploring that decision with this
+        // thread instead eventually realizes the reversed order.
+        let op_q = st.threads[chosen]
+            .pending
+            .expect("chosen thread has pending op");
+        // For a lock acquisition the meaningful reversal point is the other
+        // thread's *acquisition* (running this thread before the whole
+        // critical section), not the matching release — which could never be
+        // reordered before its own acquire anyway.
+        let relevant = |p_op: &rt::Op| {
+            p_op.conflicts(&op_q)
+                && (!matches!(op_q.kind, rt::OpKind::LockAcquire { .. })
+                    || matches!(p_op.kind, rt::OpKind::LockAcquire { .. }))
+        };
+        for i in (0..step_idx).rev() {
+            let (p_tid, p_op) = st.trace[i];
+            if p_tid != chosen && relevant(&p_op) {
+                let branch = &mut path[i];
+                let to_add: Vec<usize> = if branch.enabled.contains(&chosen) {
+                    vec![chosen]
+                } else {
+                    branch.enabled.clone()
+                };
+                for u in to_add {
+                    let costs = branch.preempt_against.is_some_and(|p| p != u);
+                    let within = match builder.preemption_bound {
+                        None => true,
+                        Some(bound) => !costs || branch.preemptions < bound,
+                    };
+                    if u != branch.chosen
+                        && within
+                        && !branch.done.contains(&u)
+                        && !branch.alternatives.contains(&u)
+                    {
+                        branch.alternatives.push(u);
+                    }
+                }
+                break;
+            }
+        }
+        if preempt_against.is_some_and(|p| p != chosen) {
+            preemptions += 1;
+        }
+        step_idx += 1;
+        prev = Some(chosen);
+        st.granted = Some(chosen);
+        exec.notify();
+        drop(st);
+    };
+
+    // Teardown: wake and collect every OS thread before reporting.
+    rt::with_state(&exec, |st| {
+        if !matches!(outcome, Outcome::Done) {
+            st.abort = true;
+            st.granted = None;
+        }
+    });
+    exec.notify();
+    loop {
+        let handle = rt::with_state(&exec, |st| st.os_handles.pop());
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+
+    match outcome {
+        Outcome::Done => {}
+        Outcome::Abort => {
+            let (payload, failure, trace) = rt::with_state(&exec, |st| {
+                (
+                    st.panic_payload.take(),
+                    st.failure.take(),
+                    std::mem::take(&mut st.trace),
+                )
+            });
+            eprintln!("{}", rt::render_trace(schedule_no, &trace));
+            match payload {
+                Some(p) => {
+                    if let Some(mf) = p.downcast_ref::<ModelFailure>() {
+                        panic!("loom (shim): {} (schedule #{schedule_no})", mf.0);
+                    }
+                    std::panic::resume_unwind(p);
+                }
+                None => panic!(
+                    "loom (shim): {} (schedule #{schedule_no})",
+                    failure.unwrap_or_else(|| "model aborted".to_string())
+                ),
+            }
+        }
+        Outcome::Failed(msg) => {
+            let trace = rt::with_state(&exec, |st| std::mem::take(&mut st.trace));
+            eprintln!("{}", rt::render_trace(schedule_no, &trace));
+            panic!("loom (shim): {msg} (schedule #{schedule_no})");
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! The execution runtime behind [`crate::model`]: real OS threads driven one
+//! at a time by a controller, so that every visit to a loom primitive becomes
+//! a *scheduling point* the explorer can branch on.
+//!
+//! Protocol: each model thread parks at every operation, publishing the `Op`
+//! it is about to perform.  Once every live thread is parked the controller
+//! knows the full frontier of pending operations, picks one thread (replaying
+//! the DFS path prefix, then extending it), and grants it the right to run.
+//! The granted thread applies its operation's effect under the state lock,
+//! runs user code, and parks again at the next operation.  Exactly one model
+//! thread is ever runnable, which is what makes `UnsafeCell` access sound.
+//!
+//! Happens-before is tracked with vector clocks: lock releases and `Release`
+//! stores publish the releasing thread's clock; lock acquires and `Acquire`
+//! loads join it.  Atomic *values* follow sequentially-consistent semantics
+//! (one current value per atomic); weak orderings therefore surface as
+//! happens-before **data races on `UnsafeCell` data**, not as stale atomic
+//! reads — which is exactly how the dropped-`Acquire` self-test is caught.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::panic_any;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+/// Sentinel object id for operations that touch no shared object.
+pub(crate) const NO_OBJ: u32 = u32::MAX;
+
+/// Payload used to unwind parked threads during teardown of an aborted
+/// execution.  The panic hook suppresses its report.
+pub(crate) struct AbortToken;
+
+/// Payload carrying a checker-detected failure (data race, deadlock trace,
+/// step budget) from a model thread to the controller, which re-raises it
+/// with the schedule attached.
+pub(crate) struct ModelFailure(pub(crate) String);
+
+/// What one scheduling step is about to do, in just enough detail for the
+/// explorer to compute conflicts, enabledness, and a readable trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// First step of a thread (spawn barrier); no shared effect.
+    Start,
+    /// Voluntary `yield_now`; deprioritized by the scheduler.
+    Yield,
+    AtomicLoad,
+    AtomicStore,
+    /// Read-modify-write, including both arms of compare_exchange.
+    AtomicRmw,
+    LockAcquire {
+        write: bool,
+    },
+    LockRelease {
+        write: bool,
+    },
+    CellRead,
+    CellWrite,
+    /// Join on the model thread with the given id; enabled once it finishes.
+    Join {
+        target: u32,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Op {
+    pub(crate) obj: u32,
+    pub(crate) kind: OpKind,
+    pub(crate) ord: Option<Ordering>,
+}
+
+pub(crate) const START_OP: Op = Op {
+    obj: NO_OBJ,
+    kind: OpKind::Start,
+    ord: None,
+};
+
+impl Op {
+    fn is_write(&self) -> bool {
+        !matches!(
+            self.kind,
+            OpKind::AtomicLoad | OpKind::CellRead | OpKind::LockAcquire { write: false }
+        )
+    }
+
+    /// Two pending ops conflict when they touch the same object and at least
+    /// one mutates it — the only case where their order is observable.
+    pub(crate) fn conflicts(&self, other: &Op) -> bool {
+        self.obj != NO_OBJ && self.obj == other.obj && (self.is_write() || other.is_write())
+    }
+
+    fn describe(&self) -> String {
+        let ord = self.ord.map(|o| format!(", {o:?}")).unwrap_or_default();
+        match self.kind {
+            OpKind::Start => "start".to_string(),
+            OpKind::Yield => "yield_now".to_string(),
+            OpKind::AtomicLoad => format!("atomic({}).load({})", self.obj, &ord[2..]),
+            OpKind::AtomicStore => format!("atomic({}).store({})", self.obj, &ord[2..]),
+            OpKind::AtomicRmw => format!("atomic({}).rmw({})", self.obj, &ord[2..]),
+            OpKind::LockAcquire { write: true } => format!("lock({}).acquire", self.obj),
+            OpKind::LockAcquire { write: false } => format!("lock({}).read_acquire", self.obj),
+            OpKind::LockRelease { write: true } => format!("lock({}).release", self.obj),
+            OpKind::LockRelease { write: false } => format!("lock({}).read_release", self.obj),
+            OpKind::CellRead => format!("cell({}).read", self.obj),
+            OpKind::CellWrite => format!("cell({}).write", self.obj),
+            OpKind::Join { target } => format!("join(t{target})"),
+        }
+    }
+}
+
+/// A per-thread vector clock; component `t` counts thread `t`'s steps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    fn bump(&mut self, tid: usize) -> u32 {
+        self.ensure(tid);
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// Registry slot for one shared object created inside the model.
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    Atomic {
+        value: u64,
+        /// Clock published by the last release-store (release sequence); an
+        /// acquire-load joins it.  `None` after a relaxed overwrite.
+        msg: Option<VClock>,
+    },
+    Lock {
+        owner: Option<usize>,
+        readers: Vec<usize>,
+        /// Clock of the last write-release.
+        clock: VClock,
+        /// Join of all read-releases since the last write-release.
+        readers_clock: VClock,
+    },
+    Cell {
+        /// Last unsynchronized write: (thread, that thread's step epoch).
+        last_write: Option<(usize, u32)>,
+        /// Reads since the last write: (thread, epoch) per reader.
+        reads: Vec<(usize, u32)>,
+    },
+}
+
+impl ObjState {
+    pub(crate) fn new_atomic(value: u64) -> ObjState {
+        ObjState::Atomic { value, msg: None }
+    }
+
+    pub(crate) fn new_lock() -> ObjState {
+        ObjState::Lock {
+            owner: None,
+            readers: Vec::new(),
+            clock: VClock::default(),
+            readers_clock: VClock::default(),
+        }
+    }
+
+    pub(crate) fn new_cell() -> ObjState {
+        ObjState::Cell {
+            last_write: None,
+            reads: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ThreadState {
+    pub(crate) clock: VClock,
+    /// The operation this thread is parked on, if parked.
+    pub(crate) pending: Option<Op>,
+    pub(crate) finished: bool,
+    /// Set while parked on a voluntary yield; the scheduler deprioritizes it.
+    pub(crate) yielded: bool,
+    result: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadState>,
+    pub(crate) objects: Vec<ObjState>,
+    /// Thread currently granted the right to run, if any.
+    pub(crate) granted: Option<usize>,
+    pub(crate) abort: bool,
+    pub(crate) failure: Option<String>,
+    pub(crate) panic_payload: Option<Box<dyn Any + Send>>,
+    pub(crate) trace: Vec<(usize, Op)>,
+    pub(crate) steps: usize,
+    max_steps: usize,
+    max_threads: usize,
+    pub(crate) os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One schedule's worth of shared execution state.
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(max_steps: usize, max_threads: usize) -> Execution {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                granted: None,
+                abort: false,
+                failure: None,
+                panic_payload: None,
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                max_threads,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the state, recovering from poison: model threads panic on purpose
+    /// (failure propagation, teardown) while other threads still need state.
+    pub(crate) fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub(crate) fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait_state<'a>(
+        &self,
+        guard: StdMutexGuard<'a, ExecState>,
+    ) -> StdMutexGuard<'a, ExecState> {
+        self.cv
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+pub(crate) fn with_state<R>(exec: &Execution, f: impl FnOnce(&mut ExecState) -> R) -> R {
+    let mut st = exec.lock();
+    f(&mut st)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> (Arc<Execution>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect(
+        "loom (shim): model primitives (Mutex, RwLock, atomics, UnsafeCell, thread) \
+         may only be used inside loom::model(|| ..)",
+    )
+}
+
+/// Handle to a registered shared object, pinned to its execution.
+pub(crate) struct ObjRef {
+    exec: Arc<Execution>,
+    pub(crate) id: u32,
+}
+
+impl std::fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjRef({})", self.id)
+    }
+}
+
+impl ObjRef {
+    pub(crate) fn register(state: ObjState) -> ObjRef {
+        let (exec, _tid) = current_ctx();
+        let id = with_state(&exec, |st| {
+            st.objects.push(state);
+            (st.objects.len() - 1) as u32
+        });
+        ObjRef { exec, id }
+    }
+
+    /// The current thread's context, checked to belong to this object's
+    /// execution (catches objects leaked across `model()` invocations).
+    fn ctx(&self) -> (Arc<Execution>, usize) {
+        let (exec, tid) = current_ctx();
+        assert!(
+            Arc::ptr_eq(&exec, &self.exec),
+            "loom (shim): object used outside the execution that created it \
+             (do not leak loom types across model() iterations)"
+        );
+        (exec, tid)
+    }
+}
+
+/// Abort the execution with a checker-detected failure and unwind.
+fn fail(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, msg: String) -> ! {
+    st.abort = true;
+    if st.failure.is_none() {
+        st.failure = Some(msg.clone());
+    }
+    exec.notify();
+    drop(st);
+    panic_any(ModelFailure(msg));
+}
+
+/// Park the current thread on `op` and block until the controller grants it.
+///
+/// Returns `false` when the operation's effect must be skipped: either the
+/// thread is already unwinding (guard drops during panic teardown) — in which
+/// case nothing is scheduled — or `true` after the grant, with the step
+/// recorded (clock bumped, trace appended, budget charged).
+fn park_until_granted(exec: &Execution, tid: usize, op: Op, voluntary: bool) -> bool {
+    if std::thread::panicking() {
+        return false;
+    }
+    let mut st = exec.lock();
+    if st.abort {
+        drop(st);
+        panic_any(AbortToken);
+    }
+    st.threads[tid].pending = Some(op);
+    st.threads[tid].yielded = voluntary;
+    exec.notify();
+    loop {
+        if st.abort {
+            st.threads[tid].pending = None;
+            exec.notify();
+            drop(st);
+            panic_any(AbortToken);
+        }
+        if st.granted == Some(tid) {
+            break;
+        }
+        st = exec.wait_state(st);
+    }
+    st.granted = None;
+    st.threads[tid].pending = None;
+    st.threads[tid].yielded = false;
+    st.threads[tid].clock.bump(tid);
+    st.steps += 1;
+    st.trace.push((tid, op));
+    if st.steps > st.max_steps {
+        let msg = format!(
+            "step budget of {} exceeded — possible livelock; put loom::thread::yield_now() \
+             in spin loops or raise Builder::max_steps",
+            st.max_steps
+        );
+        fail(exec, st, msg);
+    }
+    true
+}
+
+// ordering: shim-internal classifier mapping each std ordering onto the
+// vector-clock model; it must enumerate the non-SeqCst variants by name.
+fn acquires(ord: Ordering) -> bool {
+    // ordering: Acquire/AcqRel/SeqCst all join the publisher's clock.
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// ordering: shim-internal classifier, see `acquires`.
+fn releases(ord: Ordering) -> bool {
+    // ordering: Release/AcqRel/SeqCst all publish the writer's clock.
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn atomic_parts(st: &mut ExecState, id: u32) -> (&mut u64, &mut Option<VClock>) {
+    match &mut st.objects[id as usize] {
+        ObjState::Atomic { value, msg } => (value, msg),
+        other => panic!("loom (shim): object {id} is not an atomic: {other:?}"),
+    }
+}
+
+pub(crate) fn atomic_load(obj: &ObjRef, ord: Ordering) -> u64 {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::AtomicLoad,
+        ord: Some(ord),
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return with_state(&exec, |st| *atomic_parts(st, obj.id).0);
+    }
+    with_state(&exec, |st| {
+        let (value, msg) = atomic_parts(st, obj.id);
+        let (value, msg) = (*value, msg.clone());
+        if acquires(ord) {
+            if let Some(m) = msg {
+                st.threads[tid].clock.join(&m);
+            }
+        }
+        value
+    })
+}
+
+pub(crate) fn atomic_store(obj: &ObjRef, val: u64, ord: Ordering) {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::AtomicStore,
+        ord: Some(ord),
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return;
+    }
+    with_state(&exec, |st| {
+        let new_msg = if releases(ord) {
+            Some(st.threads[tid].clock.clone())
+        } else {
+            None
+        };
+        let (value, msg) = atomic_parts(st, obj.id);
+        *value = val;
+        *msg = new_msg;
+    });
+}
+
+pub(crate) fn atomic_rmw(obj: &ObjRef, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::AtomicRmw,
+        ord: Some(ord),
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return with_state(&exec, |st| *atomic_parts(st, obj.id).0);
+    }
+    with_state(&exec, |st| {
+        let (value, msg) = atomic_parts(st, obj.id);
+        let (old, old_msg) = (*value, msg.clone());
+        if acquires(ord) {
+            if let Some(m) = &old_msg {
+                st.threads[tid].clock.join(m);
+            }
+        }
+        // A release RMW continues the release sequence: the new message joins
+        // the previous publisher's clock with this thread's.
+        let new_msg = if releases(ord) {
+            let mut m = old_msg.unwrap_or_default();
+            m.join(&st.threads[tid].clock);
+            Some(m)
+        } else {
+            old_msg
+        };
+        let (value, msg) = atomic_parts(st, obj.id);
+        *value = f(old);
+        *msg = new_msg;
+        old
+    })
+}
+
+pub(crate) fn atomic_cas(
+    obj: &ObjRef,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::AtomicRmw,
+        ord: Some(success),
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return Err(with_state(&exec, |st| *atomic_parts(st, obj.id).0));
+    }
+    with_state(&exec, |st| {
+        let (value, msg) = atomic_parts(st, obj.id);
+        let (old, old_msg) = (*value, msg.clone());
+        if old == current {
+            if acquires(success) {
+                if let Some(m) = &old_msg {
+                    st.threads[tid].clock.join(m);
+                }
+            }
+            let new_msg = if releases(success) {
+                let mut m = old_msg.unwrap_or_default();
+                m.join(&st.threads[tid].clock);
+                Some(m)
+            } else {
+                old_msg
+            };
+            let (value, msg) = atomic_parts(st, obj.id);
+            *value = new;
+            *msg = new_msg;
+            Ok(old)
+        } else {
+            if acquires(failure) {
+                if let Some(m) = &old_msg {
+                    st.threads[tid].clock.join(m);
+                }
+            }
+            Err(old)
+        }
+    })
+}
+
+pub(crate) fn lock_acquire(obj: &ObjRef, write: bool) {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::LockAcquire { write },
+        ord: None,
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return;
+    }
+    with_state(&exec, |st| {
+        let (lock_clock, readers_clock) = match &mut st.objects[obj.id as usize] {
+            ObjState::Lock {
+                owner,
+                readers,
+                clock,
+                readers_clock,
+            } => {
+                if write {
+                    debug_assert!(owner.is_none() && readers.is_empty());
+                    *owner = Some(tid);
+                    (clock.clone(), Some(readers_clock.clone()))
+                } else {
+                    debug_assert!(owner.is_none());
+                    readers.push(tid);
+                    (clock.clone(), None)
+                }
+            }
+            other => panic!("loom (shim): object {} is not a lock: {other:?}", obj.id),
+        };
+        st.threads[tid].clock.join(&lock_clock);
+        if let Some(rc) = readers_clock {
+            st.threads[tid].clock.join(&rc);
+        }
+    });
+}
+
+pub(crate) fn lock_release(obj: &ObjRef, write: bool) {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: OpKind::LockRelease { write },
+        ord: None,
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return;
+    }
+    with_state(&exec, |st| {
+        let thr_clock = st.threads[tid].clock.clone();
+        match &mut st.objects[obj.id as usize] {
+            ObjState::Lock {
+                owner,
+                readers,
+                clock,
+                readers_clock,
+            } => {
+                if write {
+                    debug_assert_eq!(*owner, Some(tid));
+                    *owner = None;
+                    *clock = thr_clock;
+                    *readers_clock = VClock::default();
+                } else {
+                    readers.retain(|r| *r != tid);
+                    readers_clock.join(&thr_clock);
+                }
+            }
+            other => panic!("loom (shim): object {} is not a lock: {other:?}", obj.id),
+        }
+    });
+}
+
+pub(crate) fn cell_access(obj: &ObjRef, write: bool) {
+    let (exec, tid) = obj.ctx();
+    let op = Op {
+        obj: obj.id,
+        kind: if write {
+            OpKind::CellWrite
+        } else {
+            OpKind::CellRead
+        },
+        ord: None,
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return;
+    }
+    let mut st = exec.lock();
+    let me_clock = st.threads[tid].clock.clone();
+    let my_epoch = me_clock.get(tid);
+    let racer = match &mut st.objects[obj.id as usize] {
+        ObjState::Cell { last_write, reads } => {
+            let mut racer: Option<(usize, &'static str)> = None;
+            if let Some((w_tid, w_clk)) = *last_write {
+                if w_tid != tid && me_clock.get(w_tid) < w_clk {
+                    racer = Some((w_tid, "write"));
+                }
+            }
+            if write {
+                if racer.is_none() {
+                    for &(r_tid, r_clk) in reads.iter() {
+                        if r_tid != tid && me_clock.get(r_tid) < r_clk {
+                            racer = Some((r_tid, "read"));
+                            break;
+                        }
+                    }
+                }
+                if racer.is_none() {
+                    *last_write = Some((tid, my_epoch));
+                    reads.clear();
+                }
+            } else if racer.is_none() {
+                match reads.iter_mut().find(|e| e.0 == tid) {
+                    Some(entry) => entry.1 = my_epoch,
+                    None => reads.push((tid, my_epoch)),
+                }
+            }
+            racer
+        }
+        other => panic!("loom (shim): object {} is not a cell: {other:?}", obj.id),
+    };
+    if let Some((other, what)) = racer {
+        let msg = format!(
+            "data race: unsynchronized {} of UnsafeCell({}) by thread t{tid} is \
+             concurrent with an earlier {what} by t{other} (no happens-before edge)",
+            if write { "write" } else { "read" },
+            obj.id,
+        );
+        fail(&exec, st, msg);
+    }
+}
+
+pub(crate) fn yield_now() {
+    let (exec, tid) = current_ctx();
+    let op = Op {
+        obj: NO_OBJ,
+        kind: OpKind::Yield,
+        ord: None,
+    };
+    park_until_granted(&exec, tid, op, true);
+}
+
+pub(crate) type ThreadBody = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + 'static>;
+
+/// Register a new model thread and start its OS thread; the child parks on a
+/// `Start` op until the scheduler lets it run.  Returns the model thread id.
+pub(crate) fn spawn_thread(body: ThreadBody) -> usize {
+    let (exec, me) = current_ctx();
+    let tid = {
+        let mut st = exec.lock();
+        if st.threads.len() >= st.max_threads {
+            let max = st.max_threads;
+            let msg = format!(
+                "model spawned more than max_threads ({max}) threads; raise Builder::max_threads"
+            );
+            fail(&exec, st, msg);
+        }
+        let tid = st.threads.len();
+        let clock = st.threads[me].clock.clone();
+        st.threads.push(ThreadState {
+            clock,
+            pending: Some(START_OP),
+            ..ThreadState::default()
+        });
+        exec.notify();
+        tid
+    };
+    let handle = spawn_os_thread(exec.clone(), tid, body);
+    with_state(&exec, |st| st.os_handles.push(handle));
+    tid
+}
+
+/// Join a model thread: blocks (as a scheduling point) until it finishes,
+/// joins its final clock, and takes its result.  `None` during teardown.
+pub(crate) fn join_thread(target: usize) -> Option<Box<dyn Any + Send>> {
+    let (exec, tid) = current_ctx();
+    let op = Op {
+        obj: NO_OBJ,
+        kind: OpKind::Join {
+            target: target as u32,
+        },
+        ord: None,
+    };
+    if !park_until_granted(&exec, tid, op, false) {
+        return None;
+    }
+    with_state(&exec, |st| {
+        let t_clock = st.threads[target].clock.clone();
+        st.threads[tid].clock.join(&t_clock);
+        Some(
+            st.threads[target]
+                .result
+                .take()
+                .expect("loom (shim): thread joined twice"),
+        )
+    })
+}
+
+/// Block the brand-new thread until its `Start` op is granted.
+fn wait_for_start(exec: &Execution, tid: usize) -> bool {
+    let mut st = exec.lock();
+    loop {
+        if st.abort {
+            st.threads[tid].pending = None;
+            exec.notify();
+            return false;
+        }
+        if st.granted == Some(tid) {
+            break;
+        }
+        st = exec.wait_state(st);
+    }
+    st.granted = None;
+    st.threads[tid].pending = None;
+    st.threads[tid].clock.bump(tid);
+    st.steps += 1;
+    st.trace.push((tid, START_OP));
+    true
+}
+
+pub(crate) fn spawn_os_thread(
+    exec: Arc<Execution>,
+    tid: usize,
+    body: ThreadBody,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+        let result = if wait_for_start(&exec, tid) {
+            Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)))
+        } else {
+            None
+        };
+        let mut st = exec.lock();
+        match result {
+            Some(Ok(value)) => st.threads[tid].result = Some(value),
+            Some(Err(payload)) => {
+                if !payload.is::<AbortToken>() && st.panic_payload.is_none() && st.failure.is_none()
+                {
+                    st.failure = Some(format!("thread t{tid} panicked"));
+                    st.panic_payload = Some(payload);
+                }
+                st.abort = true;
+            }
+            None => {}
+        }
+        st.threads[tid].finished = true;
+        st.threads[tid].pending = None;
+        exec.notify();
+        drop(st);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    })
+}
+
+/// Install (once, process-wide) a panic hook that silences the shim's
+/// internal control-flow panics; user panics still report normally.
+pub(crate) fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<AbortToken>() || payload.is::<ModelFailure>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Render the failing schedule for deterministic replay by the user.
+pub(crate) fn render_trace(schedule_no: usize, trace: &[(usize, Op)]) -> String {
+    const SHOWN: usize = 200;
+    let mut out = format!("loom (shim): failing schedule #{schedule_no} (deterministic replay):\n");
+    for (i, (tid, op)) in trace.iter().enumerate().take(SHOWN) {
+        out.push_str(&format!("  step {i:>3}: t{tid} {}\n", op.describe()));
+    }
+    if trace.len() > SHOWN {
+        out.push_str(&format!("  .. {} more steps\n", trace.len() - SHOWN));
+    }
+    out
+}

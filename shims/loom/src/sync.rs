@@ -1,0 +1,362 @@
+//! Model-checked counterparts of the `std::sync` / `parking_lot` types used
+//! by this repo: `Mutex`, `RwLock`, and the `atomic` module.  Lock methods
+//! return guards directly (parking_lot style, no poison), so the
+//! `cfg(df_check)` indirection modules in df-rs/df-proto swap types without
+//! touching call sites.
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+use crate::rt::{self, ObjRef, ObjState};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Model-checked atomics.  Values are sequentially consistent (one
+    //! current value per atomic); orderings drive the happens-before edges
+    //! used for `UnsafeCell` race detection.
+
+    use super::{ObjRef, ObjState};
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! int_atomic {
+        ($name:ident, $ty:ty) => {
+            /// Model-checked counterpart of the same-named `std` atomic.
+            pub struct $name {
+                obj: ObjRef,
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+
+            impl $name {
+                /// Create the atomic; must be called inside `loom::model`.
+                pub fn new(value: $ty) -> $name {
+                    $name {
+                        obj: ObjRef::register(ObjState::new_atomic(value as u64)),
+                    }
+                }
+
+                /// Load the current value.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    rt::atomic_load(&self.obj, ord) as $ty
+                }
+
+                /// Store a new value.
+                pub fn store(&self, value: $ty, ord: Ordering) {
+                    rt::atomic_store(&self.obj, value as u64, ord)
+                }
+
+                /// Swap in a new value, returning the previous one.
+                pub fn swap(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |_| value as u64) as $ty
+                }
+
+                /// Add, returning the previous value (wrapping).
+                pub fn fetch_add(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |old| {
+                        (old as $ty).wrapping_add(value) as u64
+                    }) as $ty
+                }
+
+                /// Subtract, returning the previous value (wrapping).
+                pub fn fetch_sub(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |old| {
+                        (old as $ty).wrapping_sub(value) as u64
+                    }) as $ty
+                }
+
+                /// Bitwise AND, returning the previous value.
+                pub fn fetch_and(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |old| ((old as $ty) & value) as u64) as $ty
+                }
+
+                /// Bitwise OR, returning the previous value.
+                pub fn fetch_or(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |old| ((old as $ty) | value) as u64) as $ty
+                }
+
+                /// Bitwise XOR, returning the previous value.
+                pub fn fetch_xor(&self, value: $ty, ord: Ordering) -> $ty {
+                    rt::atomic_rmw(&self.obj, ord, |old| ((old as $ty) ^ value) as u64) as $ty
+                }
+
+                /// Compare-and-exchange; both arms are modeled as RMW steps.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::atomic_cas(&self.obj, current as u64, new as u64, success, failure)
+                        .map(|v| v as $ty)
+                        .map_err(|v| v as $ty)
+                }
+
+                /// Like [`compare_exchange`](Self::compare_exchange); the shim
+                /// never fails spuriously.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicUsize, usize);
+    int_atomic!(AtomicU64, u64);
+    int_atomic!(AtomicU32, u32);
+
+    /// Model-checked counterpart of `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        obj: ObjRef,
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicBool").finish_non_exhaustive()
+        }
+    }
+
+    impl AtomicBool {
+        /// Create the atomic; must be called inside `loom::model`.
+        pub fn new(value: bool) -> AtomicBool {
+            AtomicBool {
+                obj: ObjRef::register(ObjState::new_atomic(value as u64)),
+            }
+        }
+
+        /// Load the current value.
+        pub fn load(&self, ord: Ordering) -> bool {
+            rt::atomic_load(&self.obj, ord) != 0
+        }
+
+        /// Store a new value.
+        pub fn store(&self, value: bool, ord: Ordering) {
+            rt::atomic_store(&self.obj, value as u64, ord)
+        }
+
+        /// Swap in a new value, returning the previous one.
+        pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+            rt::atomic_rmw(&self.obj, ord, |_| value as u64) != 0
+        }
+
+        /// Bitwise OR, returning the previous value.
+        pub fn fetch_or(&self, value: bool, ord: Ordering) -> bool {
+            rt::atomic_rmw(&self.obj, ord, |old| (old != 0 || value) as u64) != 0
+        }
+
+        /// Bitwise AND, returning the previous value.
+        pub fn fetch_and(&self, value: bool, ord: Ordering) -> bool {
+            rt::atomic_rmw(&self.obj, ord, |old| (old != 0 && value) as u64) != 0
+        }
+
+        /// Compare-and-exchange; both arms are modeled as RMW steps.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::atomic_cas(&self.obj, current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0)
+        }
+    }
+}
+
+/// Model-checked mutual-exclusion lock; `lock` returns the guard directly
+/// (parking_lot style) and blocks as a scheduling point.
+pub struct Mutex<T: ?Sized> {
+    obj: ObjRef,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: the model scheduler serializes all threads and only grants a lock
+// acquisition when the lock is free, so the inner data is never aliased
+// mutably; `T: Send` keeps the payload transferable between model threads.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: see the `Send` impl above — `&Mutex<T>` only exposes the data
+// through guards whose exclusivity the scheduler enforces.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T: ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Create the lock; must be called inside `loom::model`.
+    pub fn new(data: T) -> Mutex<T> {
+        Mutex {
+            obj: ObjRef::register(ObjState::new_lock()),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking (as a scheduling point) until free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::lock_acquire(&self.obj, true);
+        MutexGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases (a scheduling point) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: this guard witnesses exclusive model-level ownership of the
+        // lock; the scheduler never grants a second acquisition while it
+        // lives, so no aliasing &mut exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: see `Deref` — exclusive ownership is scheduler-enforced.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::lock_release(&self.lock.obj, true);
+    }
+}
+
+/// Model-checked reader-writer lock; `read`/`write` return guards directly
+/// (parking_lot style) and block as scheduling points.
+pub struct RwLock<T: ?Sized> {
+    obj: ObjRef,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: as for `Mutex` — the scheduler enforces the reader/writer
+// exclusion protocol, so writers are exclusive and readers only alias
+// immutably; `T: Send` keeps the payload transferable.  (`T: Sync` is not
+// required because reads are serialized by the scheduler anyway, matching
+// loom's modeling rather than std's bounds.)
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: ?Sized + Send> Sync for RwLock<T> {}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Create the lock; must be called inside `loom::model`.
+    pub fn new(data: T) -> RwLock<T> {
+        RwLock {
+            obj: ObjRef::register(ObjState::new_lock()),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock (a scheduling point).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        rt::lock_acquire(&self.obj, false);
+        RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Acquire the exclusive write lock (a scheduling point).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        rt::lock_acquire(&self.obj, true);
+        RwLockWriteGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`]; releases on drop.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: read guards coexist only with other read guards; the
+        // scheduler blocks writers while any live, so only shared aliasing.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::lock_release(&self.lock.obj, false);
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`]; releases on drop.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the write guard witnesses scheduler-enforced exclusivity.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: see `Deref` — exclusivity is scheduler-enforced.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::lock_release(&self.lock.obj, true);
+    }
+}

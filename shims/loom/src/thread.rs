@@ -1,0 +1,49 @@
+//! Model-checked counterpart of `std::thread`: spawn/join become scheduling
+//! points, and `yield_now` marks spin-loop back-off for the scheduler.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use crate::rt;
+
+/// Handle to a spawned model thread; joining is a scheduling point that is
+/// enabled once the target thread finishes.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Spawn a new model thread.  Panics if the model exceeds
+/// [`Builder::max_threads`](crate::Builder::max_threads).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = rt::spawn_thread(Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+    JoinHandle {
+        tid,
+        _marker: PhantomData,
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match rt::join_thread(self.tid) {
+            Some(boxed) => Ok(*boxed
+                .downcast::<T>()
+                .expect("loom (shim): join result type mismatch")),
+            // Teardown of an aborted execution: the caller is unwinding.
+            None => Err(Box::new(()) as Box<dyn Any + Send>),
+        }
+    }
+}
+
+/// Voluntarily give up the CPU.  The scheduler deprioritizes a yielding
+/// thread, so spin loops (`while !flag { yield_now() }`) make progress and
+/// terminate instead of blowing the step budget.
+pub fn yield_now() {
+    rt::yield_now()
+}

@@ -1,7 +1,7 @@
 //! Offline shim of `parking_lot` (see `shims/README.md`): the non-poisoning
-//! [`Mutex`] API implemented over `std::sync::Mutex`.  A poisoned std lock
-//! (panic while held) is recovered transparently, matching parking_lot's
-//! semantics of not propagating poison.
+//! [`Mutex`] and [`RwLock`] APIs implemented over their `std::sync`
+//! counterparts.  A poisoned std lock (panic while held) is recovered
+//! transparently, matching parking_lot's semantics of not propagating poison.
 
 #![forbid(unsafe_code)]
 
@@ -55,6 +55,66 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` never return a poison error.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`]; unlocks on drop.
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive guard returned by [`RwLock::write`]; unlocks on drop.
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquire the exclusive write lock, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquire the exclusive write lock if it is free right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +149,34 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(7);
+        {
+            let a = l.read();
+            // lock-order: two shared guards on the same RwLock — readers
+            // never exclude each other, so no ordering is needed.
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7));
+            assert!(l.try_write().is_none());
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn rwlock_survives_poisoning_panic() {
+        let l = Arc::new(RwLock::new(0));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the std rwlock");
+        })
+        .join();
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
     }
 }

@@ -59,6 +59,8 @@ fn serve(
         .expect("nonblocking control socket");
     let mut buf = [0u8; 2048];
     let mut burst = 0u32;
+    // ordering: Relaxed — the flag is a plain shutdown signal; thread::join
+    // below is the synchronization point, no data rides on this load.
     while !stop.load(Ordering::Relaxed) {
         while let Ok((len, from)) = control.recv_from(&mut buf) {
             let reply = server.handle_control_datagram(&buf[..len]);
@@ -144,6 +146,8 @@ fn udp_loopback_lossless_download_via_control_channel() {
         Duration::from_secs(60),
         |_| true,
     );
+    // ordering: Relaxed — shutdown signal only; the join right below is the
+    // synchronization point.
     stop.store(true, Ordering::Relaxed);
     server_thread.join().unwrap();
 
@@ -179,6 +183,7 @@ fn udp_loopback_download_survives_artificially_dropped_datagrams() {
         let stop = stop.clone();
         std::thread::spawn(move || {
             let mut sent = 0u32;
+            // ordering: Relaxed — shutdown signal only, synchronized by join.
             while !stop.load(Ordering::Relaxed) {
                 session.send_round(&mut server_transport);
                 sent += 1;
@@ -201,6 +206,8 @@ fn udp_loopback_download_survives_artificially_dropped_datagrams() {
             !counter.is_multiple_of(3)
         },
     );
+    // ordering: Relaxed — shutdown signal only; the join right below is the
+    // synchronization point.
     stop.store(true, Ordering::Relaxed);
     server_thread.join().unwrap();
 
@@ -285,6 +292,8 @@ fn udp_loopback_layered_download_with_receiver_driven_joins() {
             }
         }
     }
+    // ordering: Relaxed — shutdown signal only; the join right below is the
+    // synchronization point.
     stop.store(true, Ordering::Relaxed);
     server_thread.join().unwrap();
 
