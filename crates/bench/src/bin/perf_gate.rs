@@ -24,6 +24,13 @@
 //! rejects it at the given tolerance, and checks an identical report passes
 //! — guarding the guard, so a refactor that quietly made the comparison
 //! vacuous turns CI red.
+//!
+//! Beyond the baseline comparison, the gate asserts the **multi-core shard
+//! scaling** of the fresh report on its own: when the driver row records
+//! `parallelism >= 4`, the 4-shard aggregate must reach at least 1.8× the
+//! 1-shard row.  On machines with fewer cores the check is skipped loudly —
+//! a 1-core container cannot demonstrate parallel speedup, but the sweep is
+//! still recorded in the report for machines that can.
 
 use serde::Value;
 use std::collections::BTreeMap;
@@ -142,12 +149,81 @@ fn render(comparisons: &[Comparison], tolerance: f64) -> bool {
     ok
 }
 
+/// The multi-core datum of the driver row: how many cores the report's
+/// machine had, and the 1-shard / 4-shard aggregate throughput from the
+/// shard sweep.
+#[derive(Debug, PartialEq)]
+struct ShardScaling {
+    parallelism: u64,
+    one_shard_mbps: f64,
+    four_shard_mbps: f64,
+}
+
+/// The 4-shard row must reach this multiple of the 1-shard row — but only
+/// on machines whose recorded `parallelism` can actually express a speedup.
+const SHARD_SCALING_FLOOR: f64 = 1.8;
+
+fn extract_shard_scaling(report: &Value) -> Option<ShardScaling> {
+    let driver = field(report, "driver_throughput")?;
+    let parallelism = field(driver, "parallelism").and_then(as_f64)? as u64;
+    let sweep = match field(driver, "shard_sweep")? {
+        Value::Array(rows) => rows,
+        _ => return None,
+    };
+    let mbps_at = |n: f64| {
+        sweep.iter().find_map(|row| {
+            (field(row, "shards").and_then(as_f64) == Some(n))
+                .then(|| field(row, "aggregate_mbps").and_then(as_f64))
+                .flatten()
+        })
+    };
+    Some(ShardScaling {
+        parallelism,
+        one_shard_mbps: mbps_at(1.0)?,
+        four_shard_mbps: mbps_at(4.0)?,
+    })
+}
+
+/// Assert the fresh report's own multi-core scaling (no baseline involved).
+/// Returns `false` — failing the gate — only when the report was measured
+/// on ≥ 4 cores and the 4-shard aggregate still fell short of the floor.
+fn check_shard_scaling(scaling: Option<&ShardScaling>) -> bool {
+    let Some(s) = scaling else {
+        println!("shard scaling: fresh report carries no shard_sweep row — not checked");
+        return true;
+    };
+    if s.parallelism < 4 {
+        println!(
+            "shard scaling: SKIPPED — report was measured with parallelism = {} (< 4 cores); \
+             a 4-shard speedup cannot be demonstrated on this machine",
+            s.parallelism
+        );
+        return true;
+    }
+    let ratio = if s.one_shard_mbps > 0.0 {
+        s.four_shard_mbps / s.one_shard_mbps
+    } else {
+        0.0
+    };
+    let ok = ratio >= SHARD_SCALING_FLOOR;
+    println!(
+        "shard scaling: 1-shard {:.2} MB/s -> 4-shard {:.2} MB/s ({ratio:.2}x, floor \
+         {SHARD_SCALING_FLOOR}x, parallelism {}) {}",
+        s.one_shard_mbps,
+        s.four_shard_mbps,
+        s.parallelism,
+        if ok { "ok" } else { "REGRESSED" }
+    );
+    ok
+}
+
 /// A loaded report: its gated metrics plus the kernel tiers it was measured
 /// on (used to flag hardware mismatches, which make absolute MB/s
-/// comparisons suspect).
+/// comparisons suspect) and the driver row's shard-scaling datum.
 struct Report {
     metrics: Metrics,
     kernels: Vec<(String, String)>,
+    scaling: Option<ShardScaling>,
 }
 
 fn load_report(path: &str) -> Result<Report, String> {
@@ -167,7 +243,12 @@ fn load_report(path: &str) -> Result<Report, String> {
             })
         })
         .collect();
-    Ok(Report { metrics, kernels })
+    let scaling = extract_shard_scaling(&value);
+    Ok(Report {
+        metrics,
+        kernels,
+        scaling,
+    })
 }
 
 /// Absolute throughput only compares like with like: if the two reports were
@@ -216,7 +297,7 @@ fn main() -> ExitCode {
             .find(|a| a.starts_with(prefix))
             .map(|a| a[prefix.len()..].to_string())
     };
-    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr9.json".to_string());
+    let baseline_path = get("--baseline=").unwrap_or_else(|| "BENCH_pr10.json".to_string());
     let fresh_path = get("--fresh=").unwrap_or_else(|| "bench-report.json".to_string());
     let tolerance: f64 = get("--tolerance=")
         .map(|t| t.parse().expect("--tolerance must be a number"))
@@ -264,14 +345,24 @@ fn main() -> ExitCode {
     };
     only_in(&baseline.metrics, &fresh.metrics, "baseline");
     only_in(&fresh.metrics, &baseline.metrics, "fresh report");
-    if render(&comparisons, tolerance) {
+    let rows_ok = render(&comparisons, tolerance);
+    let scaling_ok = check_shard_scaling(fresh.scaling.as_ref());
+    if rows_ok && scaling_ok {
         println!("perf gate: ok ({} shared metrics)", comparisons.len());
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "perf gate: throughput regressed beyond {:.0}% on at least one shared row",
-            tolerance * 100.0
-        );
+        if !rows_ok {
+            eprintln!(
+                "perf gate: throughput regressed beyond {:.0}% on at least one shared row",
+                tolerance * 100.0
+            );
+        }
+        if !scaling_ok {
+            eprintln!(
+                "perf gate: 4-shard driver throughput fell below {SHARD_SCALING_FLOOR}x the \
+                 1-shard row on a >= 4-core machine"
+            );
+        }
         ExitCode::FAILURE
     }
 }
@@ -287,7 +378,13 @@ mod tests {
         "tornado_a": {"encode_s": 0.002, "decode_s": 0.004, "encode_mbps": 500.0, "decode_mbps": 250.0},
         "cauchy": {"encode_s": 0.1, "decode_s": 0.1, "encode_mbps": 9.5, "decode_mbps": 10.5}
       },
-      "driver_throughput": {"clients": 128, "aggregate_mbps": 400.0, "sessions_per_s": 800.0},
+      "driver_throughput": {"clients": 128, "aggregate_mbps": 400.0, "sessions_per_s": 800.0,
+        "parallelism": 8,
+        "shard_sweep": [
+          {"shards": 1, "aggregate_mbps": 400.0},
+          {"shards": 2, "aggregate_mbps": 760.0},
+          {"shards": 4, "aggregate_mbps": 1440.0}
+        ]},
       "layered_efficiency": [{"bottleneck": 1.0, "rounds": 18}]
     }"#;
 
@@ -332,10 +429,53 @@ mod tests {
             "overhead ratios are reported in the JSON but never gated: {m:?}"
         );
         // Against a baseline without the rows they are unshared: reported,
-        // not gated.  The committed BENCH_pr9.json *does* carry them, so in
+        // not gated.  The committed BENCH_pr10.json *does* carry them, so in
         // CI the rateless rows gate for real (see the test below).
         let cmp = compare(&sample_metrics(), &m, 0.30);
         assert!(cmp.iter().all(|c| !c.metric.starts_with("rateless")));
+    }
+
+    #[test]
+    fn shard_scaling_extracts_and_gates_only_on_big_machines() {
+        let value = serde_json::parse_value_str(SAMPLE).unwrap();
+        let scaling = extract_shard_scaling(&value).expect("SAMPLE carries a shard sweep");
+        assert_eq!(
+            scaling,
+            ShardScaling {
+                parallelism: 8,
+                one_shard_mbps: 400.0,
+                four_shard_mbps: 1440.0,
+            }
+        );
+        // 3.6x on an 8-core machine: passes.
+        assert!(check_shard_scaling(Some(&scaling)));
+        // 1.2x on an 8-core machine: that is the regression the gate exists
+        // to catch.
+        let flat = ShardScaling {
+            parallelism: 8,
+            one_shard_mbps: 400.0,
+            four_shard_mbps: 480.0,
+        };
+        assert!(!check_shard_scaling(Some(&flat)));
+        // The same flat sweep on a 1-core machine is expected — skipped.
+        let one_core = ShardScaling {
+            parallelism: 1,
+            ..flat
+        };
+        assert!(check_shard_scaling(Some(&one_core)));
+        // A report without the sweep (an old baseline) is never gated on it.
+        assert!(check_shard_scaling(None));
+    }
+
+    #[test]
+    fn reports_without_a_sweep_still_load() {
+        let report = r#"{
+          "codes": {"tornado_a": {"encode_mbps": 500.0, "decode_mbps": 250.0}},
+          "driver_throughput": {"clients": 128, "aggregate_mbps": 400.0, "sessions_per_s": 800.0}
+        }"#;
+        let value = serde_json::parse_value_str(report).unwrap();
+        assert_eq!(extract_shard_scaling(&value), None);
+        assert!(extract_metrics(&value).contains_key("driver_throughput.aggregate_mbps"));
     }
 
     #[test]
@@ -390,7 +530,7 @@ mod tests {
         // otherwise the event-loop's headline metric is silently ungated.
         // The path is relative to the workspace root, where both CI and
         // `cargo test` run.
-        for candidate in ["BENCH_pr9.json", "../../BENCH_pr9.json"] {
+        for candidate in ["BENCH_pr10.json", "../../BENCH_pr10.json"] {
             if std::path::Path::new(candidate).exists() {
                 let report = load_report(candidate).expect("committed baseline parses");
                 assert!(report.metrics.contains_key("codes.tornado_a.encode_mbps"));
@@ -410,9 +550,13 @@ mod tests {
                     "the CI baseline must gate the rateless rows"
                 );
                 assert!(!report.kernels.is_empty(), "kernel tiers are recorded");
+                assert!(
+                    report.scaling.is_some(),
+                    "the CI baseline must record the driver shard sweep"
+                );
                 return;
             }
         }
-        panic!("BENCH_pr9.json not found from the test working directory");
+        panic!("BENCH_pr10.json not found from the test working directory");
     }
 }

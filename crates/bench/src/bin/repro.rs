@@ -21,7 +21,8 @@
 //! cache, a `proto_throughput` row measuring the client-side protocol
 //! path (`ClientSession::handle_datagram` over `SimMulticast`), a
 //! `driver_throughput` row (aggregate MB/s and sessions/s for 128
-//! concurrent downloads on one `df_proto::EventLoop` thread), and a
+//! concurrent downloads through the sharded `df_proto::Driver`, swept
+//! across 1/2/4 worker shards), and a
 //! `layered_efficiency` section recording convergence level, completion
 //! rounds and reception efficiency per bottleneck — used to track
 //! performance across PRs.  CI regenerates the report and

@@ -1,0 +1,203 @@
+//! The redesigned driver API surface: configuration, handles and events.
+//!
+//! The sharded [`Driver`] replaces three
+//! single-threaded assumptions baked into the old `EventLoop`-only API:
+//!
+//! * **Raw tokens** — a [`Token`] indexes one loop's
+//!   slot table, which is meaningless once sessions live on N loops.
+//!   Registration now returns a [`SessionHandle`] pairing the owning shard
+//!   with its shard-local token.
+//! * **Callbacks on the loop thread** — completion used to invoke a closure
+//!   while the loop held `&mut self`; with worker threads that contract
+//!   would run owner code on an arbitrary shard.  Completion (and every
+//!   other notification) is now a [`DriverEvent`] drained from the control
+//!   thread via [`Driver::poll_events`](crate::driver::Driver::poll_events).
+//! * **Constructor soup** — shard count, placement policy and pacing
+//!   interact, so they are grouped in a builder-style [`DriverConfig`].
+
+use crate::client::{ClientSession, DownloadStats};
+use crate::driver::placement::Placement;
+use crate::driver::shard::Driver;
+use crate::driver::{EventLoopStats, Pacing, Token};
+use crate::transport::Transport;
+use std::time::Duration;
+
+/// Identifies one session registered with a [`Driver`]:
+/// the shard that owns it plus its shard-local [`Token`].  Handles are opaque
+/// to callers — the accessors exist for logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionHandle {
+    shard: usize,
+    token: Token,
+}
+
+impl SessionHandle {
+    pub(crate) fn new(shard: usize, token: Token) -> SessionHandle {
+        SessionHandle { shard, token }
+    }
+
+    /// Index of the worker shard that owns this session's slot and sockets.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The session's token *within its shard's loop*.  Tokens from different
+    /// shards collide freely; only the (shard, token) pair is unique.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+}
+
+/// One notification from a [`Driver`], drained on the
+/// control thread via
+/// [`Driver::poll_events`](crate::driver::Driver::poll_events).
+///
+/// This is the cross-thread analogue of
+/// [`LoopEvent`](crate::driver::LoopEvent): shard workers forward their
+/// loops' events through the driver's bounded event queue, wrapping tokens
+/// into [`SessionHandle`]s and — for completions — carrying the finished
+/// session itself back to the owner (its transport is dropped on the worker,
+/// closing the sockets a finished receiver no longer needs).
+#[derive(Debug)]
+pub enum DriverEvent {
+    /// A client finished its download; the decoded file is in `session`.
+    Completed {
+        /// Handle the session was registered under.
+        handle: SessionHandle,
+        /// Reception statistics at the moment of completion.
+        stats: DownloadStats,
+        /// The finished session, moved off the shard.
+        session: Box<ClientSession>,
+    },
+    /// A client's Join intent failed at its transport; the layer's datagrams
+    /// read as loss (see
+    /// [`LoopEvent::JoinFailed`](crate::driver::LoopEvent::JoinFailed)).
+    JoinFailed {
+        /// Handle of the session whose join failed.
+        handle: SessionHandle,
+        /// The multicast group that could not be joined.
+        group: u32,
+    },
+    /// A client registration failed on its shard (an initial join refused).
+    /// The handle returned by the add is dead: it never occupied a slot.
+    AddFailed {
+        /// The dead handle.
+        handle: SessionHandle,
+        /// Display form of the I/O error (errors are not `Clone`, and the
+        /// event crosses a thread boundary).
+        error: String,
+    },
+}
+
+impl DriverEvent {
+    /// The handle this event concerns.
+    pub fn handle(&self) -> SessionHandle {
+        match self {
+            DriverEvent::Completed { handle, .. }
+            | DriverEvent::JoinFailed { handle, .. }
+            | DriverEvent::AddFailed { handle, .. } => *handle,
+        }
+    }
+}
+
+/// Final accounting returned by
+/// [`Driver::shutdown`](crate::driver::Driver::shutdown).
+#[derive(Debug, Default)]
+pub struct DriverReport {
+    /// Lifetime loop counters per shard, indexed by shard.
+    pub shard_stats: Vec<EventLoopStats>,
+    /// Events still undrained at shutdown (completions the caller never
+    /// polled, plus any teardown leftovers handed back by workers).
+    pub events: Vec<DriverEvent>,
+}
+
+impl DriverReport {
+    /// Field-wise sum of every shard's counters.
+    pub fn total_stats(&self) -> EventLoopStats {
+        self.shard_stats
+            .iter()
+            .fold(EventLoopStats::default(), |acc, s| acc.merge(*s))
+    }
+}
+
+/// Builder-style configuration for a sharded [`Driver`].
+///
+/// ```
+/// use df_proto::driver::{DriverConfig, Placement, Pacing};
+/// use df_proto::SimEndpoint;
+/// use std::time::Duration;
+///
+/// let driver = DriverConfig::new()
+///     .shards(2)
+///     .placement(Placement::LeastLoaded)
+///     .pacing(Pacing::new(Duration::from_millis(1), 64))
+///     .stepped(true)
+///     .build::<SimEndpoint>();
+/// assert_eq!(driver.shards(), 2);
+/// driver.shutdown().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    pub(crate) shards: usize,
+    pub(crate) placement: Placement,
+    pub(crate) pacing: Pacing,
+    pub(crate) stepped: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            shards: 1,
+            placement: Placement::GroupRange,
+            pacing: Pacing::new(Duration::from_millis(1), 256),
+            stepped: false,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// The default configuration: one shard, group-range placement, paced
+    /// wall-clock workers.
+    pub fn new() -> DriverConfig {
+        DriverConfig::default()
+    }
+
+    /// Number of worker shards (clamped to at least 1).  Each shard is one
+    /// `EventLoop` on its own thread.
+    pub fn shards(mut self, shards: usize) -> DriverConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// How sessions are assigned to shards at registration time.
+    pub fn placement(mut self, placement: Placement) -> DriverConfig {
+        self.placement = placement;
+        self
+    }
+
+    /// Default pacing for server sessions added without an explicit pacing.
+    /// This is the *aggregate* budget of one logical server: when a carousel
+    /// is replicated across shards the driver splits it with
+    /// [`Pacing::split`] so the total emission rate is shard-count
+    /// invariant.
+    pub fn pacing(mut self, pacing: Pacing) -> DriverConfig {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Stepped mode: workers tick only when the control thread calls
+    /// [`Driver::step`](crate::driver::Driver::step) /
+    /// [`Driver::step_until_complete`](crate::driver::Driver::step_until_complete),
+    /// each step being one deterministic `EventLoop::step`.  This is the
+    /// mode the simulation experiments use; paced mode (the default) runs
+    /// each worker's wall-clock loop continuously.
+    pub fn stepped(mut self, stepped: bool) -> DriverConfig {
+        self.stepped = stepped;
+        self
+    }
+
+    /// Spawn the worker threads and return the driver facade.
+    pub fn build<T: Transport + Send + 'static>(self) -> Driver<T> {
+        Driver::new(self)
+    }
+}

@@ -1,31 +1,41 @@
-//! The readiness-driven I/O driver: one thread, thousands of sessions.
+//! The readiness-driven I/O driver layer: from one event loop to N.
 //!
 //! Everything below this crate's session layer is sans-I/O — the sessions
 //! *produce* and *consume* datagrams but never touch a socket.  This module
-//! is the other half of that bargain: [`EventLoop`] owns the transports and
-//! multiplexes any number of [`ServerSession`]s / [`FountainServer`]s and
-//! [`ClientSession`]s over them on a single thread, the epoll-style server
-//! shape of Section 7.1 (a stateless carousel feeding arbitrarily many
-//! heterogeneous receivers at once).
+//! is the other half of that bargain, at two levels:
+//!
+//! * [`EventLoop`] — the single-shard engine: owns the transports and
+//!   multiplexes any number of [`ServerSession`]s / [`FountainServer`]s and
+//!   [`ClientSession`]s over them on **one** thread, the epoll-style server
+//!   shape of Section 7.1 (a stateless carousel feeding arbitrarily many
+//!   heterogeneous receivers at once).
+//! * [`Driver`] — the sharded facade: N per-core `EventLoop` worker threads
+//!   behind a builder-style [`DriverConfig`], each owning a disjoint slice
+//!   of sessions and their sockets, with session registration returning
+//!   opaque [`SessionHandle`]s and completion delivered through a drainable
+//!   event channel ([`Driver::poll_events`]) instead of callbacks on a loop
+//!   thread.  See [`shard`] and DESIGN.md "Sharded driver".
 //!
 //! # Token / slot model
 //!
-//! Every session added to the loop occupies a **slot** identified by a
+//! Every session added to a loop occupies a **slot** identified by a
 //! [`Token`] (a plain index; tokens are never reused within one loop).  A
 //! slot owns its session *and* its transport — the loop never shares
 //! sockets between sessions, mirroring how each multicast receiver owns its
-//! own group memberships.  The token doubles as the key under which the
-//! slot's socket fds are registered with the [`polling::Poller`], so a
-//! readiness event maps straight back to the slot to drain.
+//! own group memberships.  Poller keys are *internal dense indices* mapped
+//! back to slots on each wait; tokens no longer double as poller keys (see
+//! DESIGN.md for the migration note), so the fd set can be rebuilt from an
+//! owned [`EventLoop::readiness_snapshot`] without borrowing every slot.
 //!
 //! # Readiness vs. polled transports
 //!
 //! Each transport reports its [`Readiness`]: socket-backed transports hand
-//! over raw fds and the loop sleeps in `poll(2)` until one turns readable;
+//! over raw fds and the loop sleeps in the `polling` shim (epoll on Linux,
+//! `poll(2)` elsewhere — see `DF_POLL_BACKEND`) until one turns readable;
 //! in-memory transports ([`crate::SimMulticast`] endpoints) report
 //! [`Readiness::Polled`] and are drained on every iteration instead.  The
 //! fd set is rebuilt lazily whenever memberships change (joins and leaves
-//! open and close sockets), which `poll(2)`'s statelessness makes free.
+//! open and close sockets).
 //!
 //! # Pacing
 //!
@@ -35,32 +45,45 @@
 //! sleeps) resumes at the configured rate instead of blasting a catch-up
 //! burst.  [`EventLoop::step`] is the wall-clock-free variant — exactly one
 //! tick per server plus a full drain — which is what the deterministic
-//! tests and the simulation experiments drive.
+//! tests and the simulation experiments drive.  When one logical server's
+//! carousel is replicated across shards, [`Pacing::split`] divides the
+//! per-tick budget so the *aggregate* emission rate is shard-count
+//! invariant.
 //!
-//! # Join/Leave intent execution
+//! # Join/Leave intent execution and completion events
 //!
 //! Layered [`ClientSession`]s decide subscription changes but never touch
 //! sockets; their [`ClientEvent::Join`] / [`ClientEvent::Leave`] intents are
 //! executed *here*, against the slot's own transport.  A failed join is
-//! counted ([`EventLoopStats::join_failures`]) and otherwise treated as
-//! loss, exactly like the channel it models.  On completion a client's
-//! groups are left immediately — a finished receiver stops consuming
-//! multicast bandwidth — and the slot's completion callback, if any, fires
-//! once with the finished session.
+//! counted ([`EventLoopStats::join_failures`]), surfaced as
+//! [`LoopEvent::JoinFailed`], and otherwise treated as loss, exactly like
+//! the channel it models.  On completion a client's groups are left
+//! immediately — a finished receiver stops consuming multicast bandwidth —
+//! and a [`LoopEvent::Completed`] is buffered for the owner to drain via
+//! [`EventLoop::poll_events`] (the callback-on-the-loop-thread contract of
+//! earlier revisions is gone).
 
+pub mod handle;
+pub mod placement;
 pub mod queue;
+pub mod shard;
 
-use crate::client::{ClientEvent, ClientSession};
+pub use handle::{DriverConfig, DriverEvent, DriverReport, SessionHandle};
+pub use placement::Placement;
+pub use shard::Driver;
+
+use crate::client::{ClientEvent, ClientSession, DownloadStats};
 use crate::server::{FountainServer, ServerSession};
 use crate::transport::{Readiness, Transport};
 use bytes::Bytes;
 use polling::{Event, Poller};
+use std::collections::VecDeque;
 use std::io;
 use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 
-/// Identifies one session slot in an [`EventLoop`]; also the poller key its
-/// socket fds are registered under.
+/// Identifies one session slot in an [`EventLoop`].  Tokens are shard-local:
+/// the sharded [`Driver`] wraps them in [`SessionHandle`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Token(pub usize);
 
@@ -96,6 +119,26 @@ impl Pacing {
             datagrams_per_tick: (datagrams / 200).max(1),
         }
     }
+
+    /// Divide this budget across `parts` co-owners of one logical server so
+    /// the *aggregate* rate stays exactly this pacing: the per-tick budgets
+    /// of the returned pacings sum to `datagrams_per_tick` (the remainder
+    /// goes to the lowest-indexed parts), and every part keeps the same
+    /// interval.  Token buckets are per-loop, so replicating a carousel
+    /// across N shards *without* splitting would multiply the send rate by
+    /// N.  A part may receive a zero budget when `parts` exceeds the total
+    /// (that share of the carousel sends nothing).
+    pub fn split(self, parts: usize) -> Vec<Pacing> {
+        let parts = parts.max(1);
+        let base = self.datagrams_per_tick / parts;
+        let remainder = self.datagrams_per_tick % parts;
+        (0..parts)
+            .map(|i| Pacing {
+                interval: self.interval,
+                datagrams_per_tick: base + usize::from(i < remainder),
+            })
+            .collect()
+    }
 }
 
 /// Aggregate counters for one [`EventLoop`]'s lifetime.
@@ -113,8 +156,43 @@ pub struct EventLoopStats {
     pub control_answered: u64,
 }
 
-/// Callback invoked once when a client slot's download completes.
-pub type CompletionCallback = Box<dyn FnMut(Token, &ClientSession)>;
+impl EventLoopStats {
+    /// Field-wise sum, for aggregating per-shard loop counters.
+    pub fn merge(self, other: EventLoopStats) -> EventLoopStats {
+        EventLoopStats {
+            datagrams_sent: self.datagrams_sent + other.datagrams_sent,
+            datagrams_received: self.datagrams_received + other.datagrams_received,
+            ticks: self.ticks + other.ticks,
+            join_failures: self.join_failures + other.join_failures,
+            control_answered: self.control_answered + other.control_answered,
+        }
+    }
+}
+
+/// One buffered notification from an [`EventLoop`], drained by the owner via
+/// [`EventLoop::poll_events`].  This replaces the completion-callback
+/// contract: the loop never calls back into owner code mid-iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopEvent {
+    /// A client slot finished its download.  The session (and its decoded
+    /// file) stays in the slot until [`EventLoop::take_client`].
+    Completed {
+        /// Slot of the finished client.
+        token: Token,
+        /// Reception statistics at the moment of completion.
+        stats: DownloadStats,
+    },
+    /// A client's Join intent failed at the transport ([`Transport::join`]
+    /// returned an error).  The layer stays subscribed session-side and the
+    /// lost datagrams read as channel loss; this event lets the owner
+    /// observe the degradation.
+    JoinFailed {
+        /// Slot whose join failed.
+        token: Token,
+        /// The multicast group that could not be joined.
+        group: u32,
+    },
+}
 
 /// Either kind of carousel a server slot can pump.
 enum Carousel {
@@ -151,7 +229,6 @@ struct ServerSlot<T> {
 struct ClientSlot<T> {
     session: ClientSession,
     transport: T,
-    on_complete: Option<CompletionCallback>,
     done: bool,
 }
 
@@ -178,7 +255,13 @@ pub struct EventLoop<T: Transport> {
     /// At least one live slot has no fds and must be drained every
     /// iteration.
     has_polled_slots: bool,
+    /// Dense poller key → slot index.  Keys are assigned per registered fd
+    /// at rebuild time and mean nothing outside one registration epoch;
+    /// tokens are *not* poller keys.
+    poll_keys: Vec<usize>,
     events_buf: Vec<Event>,
+    /// Buffered [`LoopEvent`]s awaiting [`EventLoop::poll_events`].
+    events: VecDeque<LoopEvent>,
     live_clients: usize,
     completed_clients: usize,
     stats: EventLoopStats,
@@ -200,7 +283,9 @@ impl<T: Transport> EventLoop<T> {
             poller: Poller::new().ok(),
             registrations_dirty: true,
             has_polled_slots: false,
+            poll_keys: Vec::new(),
             events_buf: Vec::new(),
+            events: VecDeque::new(),
             live_clients: 0,
             completed_clients: 0,
             stats: EventLoopStats::default(),
@@ -210,6 +295,14 @@ impl<T: Transport> EventLoop<T> {
     fn push_slot(&mut self, slot: Slot<T>) -> Token {
         self.slots.push(Some(slot));
         self.registrations_dirty = true;
+        Token(self.slots.len() - 1)
+    }
+
+    /// Burn a token on a permanently vacant slot.  The sharded driver uses
+    /// this to keep its control-plane token prediction aligned with the
+    /// loop when an add fails before occupying a slot.
+    pub(crate) fn push_vacant(&mut self) -> Token {
+        self.slots.push(None);
         Token(self.slots.len() - 1)
     }
 
@@ -265,22 +358,7 @@ impl<T: Transport> EventLoop<T> {
     /// Fails if any *initial* join fails — a client that cannot reach the
     /// base layer will never receive a datagram, so this is a setup error,
     /// not channel loss.
-    pub fn add_client(&mut self, session: ClientSession, transport: T) -> io::Result<Token> {
-        self.add_client_with(session, transport, None)
-    }
-
-    /// [`EventLoop::add_client`] with a completion callback, invoked exactly
-    /// once (from within the loop iteration that completed the download).
-    ///
-    /// # Errors
-    ///
-    /// As [`EventLoop::add_client`].
-    pub fn add_client_with(
-        &mut self,
-        session: ClientSession,
-        mut transport: T,
-        on_complete: Option<CompletionCallback>,
-    ) -> io::Result<Token> {
+    pub fn add_client(&mut self, session: ClientSession, mut transport: T) -> io::Result<Token> {
         for group in session.subscribed_groups() {
             transport.join(group)?;
         }
@@ -288,9 +366,16 @@ impl<T: Transport> EventLoop<T> {
         Ok(self.push_slot(Slot::Client(Box::new(ClientSlot {
             session,
             transport,
-            on_complete,
             done: false,
         }))))
+    }
+
+    /// Drain every buffered [`LoopEvent`] (completions, failed joins), in
+    /// the order the loop observed them.  Events accumulate until drained;
+    /// owners that do not care may simply never call this (the buffer is
+    /// bounded by the number of clients plus their failed joins).
+    pub fn poll_events(&mut self) -> Vec<LoopEvent> {
+        self.events.drain(..).collect()
     }
 
     /// The client session in `token`'s slot, if that slot holds a live or
@@ -358,47 +443,63 @@ impl<T: Transport> EventLoop<T> {
         }
     }
 
-    /// Rebuild the poller's fd registrations from every live slot's current
-    /// readiness.  `poll(2)` keeps no kernel state, so this is just a vector
-    /// rebuild — cheap enough to do on every membership change.
+    /// An owned snapshot of every waitable slot's current [`Readiness`],
+    /// keyed by [`Token`].  Building the poll set from this snapshot means
+    /// registration never holds borrows into the slot table — the property
+    /// that lets a shard rebuild its fd set while the control plane
+    /// inspects it.  Completed clients are excluded (they no longer wait on
+    /// anything); a server slot's entry is its control socket, since its
+    /// data transport is send-only.
+    pub fn readiness_snapshot(&self) -> Vec<(Token, Readiness)> {
+        let mut snapshot = Vec::new();
+        for (index, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            match slot {
+                Slot::Server(s) => {
+                    let fds: Vec<i32> = s
+                        .control
+                        .as_ref()
+                        .and_then(control_fd)
+                        .into_iter()
+                        .collect();
+                    snapshot.push((Token(index), Readiness::Sockets(fds)));
+                }
+                Slot::Client(c) => {
+                    if c.done {
+                        continue;
+                    }
+                    snapshot.push((Token(index), c.transport.readiness()));
+                }
+            }
+        }
+        snapshot
+    }
+
+    /// Rebuild the poller's fd registrations from an owned readiness
+    /// snapshot.  Each fd gets a fresh *dense* key recorded in `poll_keys`;
+    /// tokens are never used as poller keys (see the module docs).
     fn rebuild_registrations(&mut self) {
         self.registrations_dirty = false;
         self.has_polled_slots = false;
+        self.poll_keys.clear();
+        let snapshot = self.readiness_snapshot();
         let Some(poller) = &self.poller else {
             self.has_polled_slots = true;
             return;
         };
         poller.clear();
-        for (key, slot) in self.slots.iter().enumerate() {
-            let Some(slot) = slot else { continue };
-            let (readiness, extra_fd) = match slot {
-                Slot::Server(s) => (
-                    // A server's data transport is send-only; what it waits
-                    // on is its control socket.
-                    Readiness::Sockets(Vec::new()),
-                    s.control.as_ref().map(control_fd),
-                ),
-                Slot::Client(c) => {
-                    if c.done {
-                        continue;
-                    }
-                    (c.transport.readiness(), None)
-                }
-            };
+        for (token, readiness) in snapshot {
             match readiness {
                 Readiness::Polled => self.has_polled_slots = true,
                 Readiness::Sockets(fds) => {
                     for fd in fds {
+                        let key = self.poll_keys.len();
                         poller
                             .add(fd, Event::readable(key))
                             .expect("slots own their sockets, so fds are distinct");
+                        self.poll_keys.push(token.0);
                     }
                 }
-            }
-            if let Some(Some(fd)) = extra_fd {
-                poller
-                    .add(fd, Event::readable(key))
-                    .expect("control sockets are owned by exactly one slot");
             }
         }
     }
@@ -423,8 +524,8 @@ impl<T: Transport> EventLoop<T> {
     }
 
     /// Drain one client slot: feed every waiting datagram to the session,
-    /// executing subscription intents against the slot's transport, firing
-    /// the completion callback when the download finishes.
+    /// executing subscription intents against the slot's transport,
+    /// buffering a [`LoopEvent::Completed`] when the download finishes.
     fn drain_client(&mut self, index: usize) {
         let Some(Some(Slot::Client(slot))) = self.slots.get_mut(index) else {
             return;
@@ -446,6 +547,10 @@ impl<T: Transport> EventLoop<T> {
                         // datagram it would have carried is loss, which the
                         // congestion controller will read as such.
                         self.stats.join_failures += 1;
+                        self.events.push_back(LoopEvent::JoinFailed {
+                            token: Token(index),
+                            group,
+                        });
                     }
                 }
                 ClientEvent::Leave { group } => {
@@ -459,9 +564,10 @@ impl<T: Transport> EventLoop<T> {
                     }
                     membership_changed = true;
                     slot.done = true;
-                    if let Some(mut callback) = slot.on_complete.take() {
-                        callback(Token(index), &slot.session);
-                    }
+                    self.events.push_back(LoopEvent::Completed {
+                        token: Token(index),
+                        stats: slot.session.stats().clone(),
+                    });
                     self.live_clients -= 1;
                     self.completed_clients += 1;
                     break;
@@ -521,9 +627,13 @@ impl<T: Transport> EventLoop<T> {
                 .expect("checked above")
                 .wait(&mut events, Some(timeout))?;
             fired = events.len();
-            // Tokens are dedup'd so one slot with several hot sockets is
-            // drained once (the drain empties every socket anyway).
-            let mut keys: Vec<usize> = events.iter().map(|e| e.key).collect();
+            // Dense keys map back to slots, then slots are dedup'd so one
+            // slot with several hot sockets is drained once (the drain
+            // empties every socket anyway).
+            let mut keys: Vec<usize> = events
+                .iter()
+                .filter_map(|e| self.poll_keys.get(e.key).copied())
+                .collect();
             keys.sort_unstable();
             keys.dedup();
             self.events_buf = events;
@@ -708,7 +818,7 @@ mod tests {
     }
 
     #[test]
-    fn completion_callback_fires_exactly_once_with_the_finished_session() {
+    fn completion_event_is_delivered_exactly_once_with_final_stats() {
         let data = patterned(30_000, 2);
         let net = SimMulticast::new(4);
         let (session, info) = sim_server(&data, SessionConfig::default(), &net);
@@ -718,38 +828,173 @@ mod tests {
             net.endpoint(0.0),
             Pacing::new(Duration::from_millis(1), 512),
         );
-        let fired = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let fired_in_cb = fired.clone();
         let client = ClientSession::new(info).unwrap();
-        let token = el
-            .add_client_with(
-                client,
-                net.endpoint(0.0),
-                Some(Box::new(move |token, session| {
-                    fired_in_cb.borrow_mut().push((
-                        token,
-                        session.is_complete(),
-                        session.stats().distinct(),
-                    ));
-                })),
-            )
-            .unwrap();
+        let token = el.add_client(client, net.endpoint(0.0)).unwrap();
         for _ in 0..5_000 {
             el.step();
             if el.all_clients_complete() {
                 break;
             }
         }
-        // Extra steps after completion must not re-fire the callback.
+        // Extra steps after completion must not buffer another event.
         for _ in 0..20 {
             el.step();
         }
-        let fired = fired.borrow();
-        assert_eq!(fired.len(), 1, "callback must fire exactly once");
-        let (cb_token, complete, distinct) = fired[0];
-        assert_eq!(cb_token, token);
-        assert!(complete);
-        assert!(distinct > 0);
+        let events = el.poll_events();
+        assert_eq!(events.len(), 1, "exactly one completion event: {events:?}");
+        let LoopEvent::Completed {
+            token: ev_token,
+            stats,
+        } = &events[0]
+        else {
+            panic!("expected Completed, got {events:?}");
+        };
+        assert_eq!(*ev_token, token);
+        assert!(stats.distinct() > 0);
+        assert!(el.client(token).unwrap().is_complete());
+        // The drain consumed the buffer: a second poll is empty.
+        assert!(el.poll_events().is_empty());
+    }
+
+    #[test]
+    fn pacing_split_preserves_the_aggregate_budget() {
+        for (budget, parts) in [(96, 4), (7, 4), (1, 3), (200, 1), (5, 8)] {
+            let pacing = Pacing::new(Duration::from_millis(1), budget);
+            let split = pacing.split(parts);
+            assert_eq!(split.len(), parts);
+            let total: usize = split.iter().map(|p| p.datagrams_per_tick).sum();
+            assert_eq!(total, budget, "budget {budget} over {parts} parts");
+            assert!(split.iter().all(|p| p.interval == pacing.interval));
+            let (min, max) = (
+                split.iter().map(|p| p.datagrams_per_tick).min().unwrap(),
+                split.iter().map(|p| p.datagrams_per_tick).max().unwrap(),
+            );
+            assert!(max - min <= 1, "split must be even: {split:?}");
+        }
+    }
+
+    #[test]
+    fn readiness_snapshot_is_owned_and_skips_finished_clients() {
+        let data = patterned(20_000, 5);
+        let net = SimMulticast::new(12);
+        let (session, info) = sim_server(&data, SessionConfig::default(), &net);
+        let mut el: EventLoop<crate::SimEndpoint> = EventLoop::new();
+        let server = el.add_server_session(
+            session,
+            net.endpoint(0.0),
+            Pacing::new(Duration::from_millis(1), 256),
+        );
+        let client = el
+            .add_client(ClientSession::new(info).unwrap(), net.endpoint(0.0))
+            .unwrap();
+        let snapshot = el.readiness_snapshot();
+        // Both slots report: the (control-less) server with an empty fd
+        // set, the sim client as Polled.  The snapshot owns its data — no
+        // borrow of the loop survives it.
+        assert_eq!(snapshot.len(), 2);
+        assert!(snapshot
+            .iter()
+            .any(|(t, r)| *t == server && matches!(r, Readiness::Sockets(f) if f.is_empty())));
+        assert!(snapshot
+            .iter()
+            .any(|(t, r)| *t == client && matches!(r, Readiness::Polled)));
+        while !el.all_clients_complete() {
+            el.step();
+        }
+        // Finished clients wait on nothing and drop out of the snapshot.
+        let snapshot = el.readiness_snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].0, server);
+    }
+
+    /// Transport wrapper whose joins fail above a group threshold, to drive
+    /// the JoinFailed event path.
+    struct FailingJoins<T: Transport> {
+        inner: T,
+        max_group: u32,
+    }
+
+    impl<T: Transport> Transport for FailingJoins<T> {
+        fn send(&mut self, group: u32, datagram: Bytes) {
+            self.inner.send(group, datagram);
+        }
+        fn recv(&mut self) -> Option<(u32, Bytes)> {
+            self.inner.recv()
+        }
+        fn join(&mut self, group: u32) -> std::io::Result<()> {
+            if group > self.max_group {
+                return Err(std::io::Error::other("join refused"));
+            }
+            self.inner.join(group)
+        }
+        fn leave(&mut self, group: u32) {
+            self.inner.leave(group);
+        }
+        fn readiness(&self) -> crate::transport::Readiness {
+            self.inner.readiness()
+        }
+    }
+
+    #[test]
+    fn failed_joins_surface_as_events_and_counters() {
+        let data = patterned(120_000, 6);
+        let net = SimMulticast::new(21);
+        let (session, info) = sim_server(
+            &data,
+            SessionConfig {
+                layers: 6,
+                code_seed: 3,
+                sp_interval: 2,
+                burst_rounds: 1,
+                ..SessionConfig::default()
+            },
+            &net,
+        );
+        let n = session.code().unwrap().n();
+        let mut el: EventLoop<FailingJoins<crate::SimEndpoint>> = EventLoop::new();
+        el.add_server_session(
+            session,
+            FailingJoins {
+                inner: net.endpoint(0.0),
+                max_group: u32::MAX,
+            },
+            Pacing::new(Duration::from_millis(1), 2 * n),
+        );
+        // The client can join only the base layer; every upgrade attempt
+        // fails at the transport.
+        let token = el
+            .add_client(
+                ClientSession::new(info).unwrap(),
+                FailingJoins {
+                    inner: net.endpoint(0.0),
+                    max_group: 0,
+                },
+            )
+            .unwrap();
+        for _ in 0..2_000 {
+            el.step();
+            if el.all_clients_complete() {
+                break;
+            }
+        }
+        assert!(el.all_clients_complete(), "base layer alone must suffice");
+        let events = el.poll_events();
+        let failed: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                LoopEvent::JoinFailed { token: t, group } => Some((*t, *group)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(el.stats().join_failures as usize, failed.len());
+        assert!(
+            !failed.is_empty(),
+            "an unconstrained layered client must have tried to upgrade"
+        );
+        assert!(failed.iter().all(|(t, g)| *t == token && *g > 0));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LoopEvent::Completed { token: t, .. } if *t == token)));
     }
 
     #[test]

@@ -19,9 +19,11 @@
 
 use bytes::Bytes;
 use df_proto::driver::queue::{bounded, PopError, PushError};
+use df_proto::driver::shard::{flush_pending, FlushState};
 use df_proto::transport::{SimMulticast, Transport};
 use loom::model::Builder;
 use loom::thread;
+use std::collections::VecDeque;
 
 fn checked(max_branches: usize, f: impl Fn() + Send + Sync + 'static) {
     checked_with(max_branches, None, f);
@@ -165,6 +167,88 @@ fn intent_queue_full_returns_intent_without_loss() {
             got.push(v);
         }
         assert_eq!(got, accepted, "delivered set diverged from accepted set");
+    });
+}
+
+/// Shard shutdown vs in-flight event handoff, happy half: a worker whose
+/// final `flush_pending` fits the queue capacity flushes everything, and the
+/// control plane — popping concurrently and then draining after the join —
+/// receives every event exactly once, in order, before `Disconnected`.  This
+/// is the worker-exit path of `driver::shard`'s teardown protocol.
+#[test]
+fn shard_teardown_flush_strands_nothing() {
+    checked(60_000, || {
+        let (tx, rx) = bounded::<u32>(4);
+        let worker = thread::spawn(move || {
+            let mut pending: VecDeque<u32> = VecDeque::from([1, 2, 3]);
+            // Capacity ≥ pending: one pass must flush everything.
+            assert_eq!(flush_pending(&mut pending, &tx), FlushState::Flushed);
+            // The sender drops at thread end: its Release decrement races
+            // the concurrent pops below.
+        });
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            if let Ok(v) = rx.try_pop() {
+                got.push(v);
+            }
+        }
+        worker.join().unwrap();
+        for _ in 0..4 {
+            match rx.try_pop() {
+                Ok(v) => got.push(v),
+                Err(PopError::Disconnected) => break,
+                Err(PopError::Empty) => unreachable!("Empty after worker exited"),
+            }
+        }
+        assert_eq!(got, [1, 2, 3], "teardown lost, duplicated or reordered");
+    });
+}
+
+/// Shard shutdown vs in-flight event handoff, backpressure half: with the
+/// event queue at capacity 1, a worker's bounded flush attempts may leave a
+/// backlog — which must ride the `Stopped` ack rather than be dropped.  The
+/// control plane's view (queue events, then ack leftovers) is exactly the
+/// pending set, in order, whatever the interleaving.
+#[test]
+fn shard_teardown_backlog_rides_the_stopped_ack() {
+    checked(60_000, || {
+        let (ev_tx, ev_rx) = bounded::<u32>(1);
+        let (ack_tx, ack_rx) = bounded::<Vec<u32>>(2);
+        let worker = thread::spawn(move || {
+            let mut pending: VecDeque<u32> = VecDeque::from([1, 2]);
+            // Bounded flush attempts (an unbounded retry loop would diverge
+            // the DPOR search); capacity 1 means at least one event backlogs
+            // unless the consumer drains between passes.
+            for _ in 0..2 {
+                if flush_pending(&mut pending, &ev_tx) != FlushState::Backlogged {
+                    break;
+                }
+            }
+            // Teardown: whatever could not be flushed rides the ack.
+            let leftover: Vec<u32> = pending.drain(..).collect();
+            ack_tx.push(leftover).expect("ack ring has room");
+        });
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            if let Ok(v) = ev_rx.try_pop() {
+                got.push(v);
+            }
+        }
+        worker.join().unwrap();
+        loop {
+            match ev_rx.try_pop() {
+                Ok(v) => got.push(v),
+                Err(PopError::Disconnected) => break,
+                Err(PopError::Empty) => unreachable!("Empty after worker exited"),
+            }
+        }
+        let leftover = ack_rx.try_pop().expect("worker always acks before exit");
+        got.extend(leftover);
+        assert_eq!(
+            got,
+            [1, 2],
+            "teardown handoff lost, duplicated or reordered"
+        );
     });
 }
 

@@ -1,35 +1,45 @@
-//! The driver-scale experiment: one [`df_proto::EventLoop`] on one thread
-//! pumping a server carousel and an arbitrarily large population of
-//! concurrent [`df_proto::ClientSession`]s over [`df_proto::SimMulticast`].
+//! The driver-scale experiment: a sharded [`df_proto::Driver`] pumping
+//! server carousels and an arbitrarily large population of concurrent
+//! [`df_proto::ClientSession`]s over [`df_proto::SimMulticast`].
 //!
 //! The paper's server is a stateless carousel meant to feed *arbitrarily
 //! many* heterogeneous receivers at once (Sections 3 and 7); the sans-I/O
 //! session layer makes the per-receiver state a plain struct, so the only
-//! scaling question left is whether the I/O driver can multiplex them — the
-//! question this module answers with thousands of sessions in a single
-//! loop.  It is also the operating point behind the `driver_throughput` row
-//! of `repro bench-json` (aggregate client-side MB/s and completed
-//! sessions/s across 100+ concurrent downloads on one thread).
+//! scaling questions left are whether the I/O driver can multiplex them —
+//! answered with thousands of sessions on one loop — and whether it can
+//! *shard* them across cores, answered by [`swarm_experiment_sharded`]:
+//! the population is partitioned into per-shard sub-swarms (own channel,
+//! own full-rate server replica, SO_REUSEPORT-style), so wall-clock
+//! throughput scales with worker threads while every sub-population sees
+//! the canonical carousel rate.  This is the operating point behind the
+//! `driver_throughput` shard sweep of `repro bench-json` (aggregate
+//! client-side MB/s and completed sessions/s across 100+ concurrent
+//! downloads at 1/2/4 shards).
 
-use df_proto::{ClientSession, EventLoop, Pacing, ServerSession, SessionConfig, SimMulticast};
+use df_proto::{
+    ClientSession, DriverConfig, DriverEvent, Pacing, ServerSession, SessionConfig, SimEndpoint,
+    SimMulticast,
+};
 use std::time::{Duration, Instant};
 
 /// Outcome of one [`swarm_experiment`] run.
 #[derive(Debug, Clone)]
 pub struct SwarmOutcome {
-    /// Concurrent client sessions driven through the loop.
+    /// Concurrent client sessions driven through the driver.
     pub clients: usize,
     /// How many completed their download within the step budget.
     pub completed: usize,
-    /// Event-loop steps (deterministic ticks) executed.
+    /// Driver steps (deterministic per-shard ticks) executed.
     pub steps: usize,
-    /// Datagrams emitted by the server slot.
+    /// Worker shards (event-loop threads) the population was split across.
+    pub shards: usize,
+    /// Datagrams emitted by all server slots.
     pub datagrams_sent: u64,
     /// Datagrams drained from client transports.
     pub datagrams_received: u64,
     /// Source bytes of the file each client reconstructs.
     pub file_len: usize,
-    /// Wall-clock spent inside the event loop.
+    /// Wall-clock spent driving the download.
     pub elapsed: Duration,
 }
 
@@ -53,15 +63,15 @@ impl SwarmOutcome {
 }
 
 /// Drive `clients` concurrent downloads of one `file_len`-byte file through
-/// a single [`EventLoop`] (server slot included — the whole system is one
-/// thread) and report completion counts and throughput.
+/// a single-shard [`df_proto::Driver`] and report completion counts and
+/// throughput.  Equivalent to [`swarm_experiment_sharded`] with one shard.
 ///
 /// Clients `i` with `i % 4 == 3` sit behind 20 % independent loss, the rest
 /// are clean — enough heterogeneity that the carousel must keep cycling for
 /// the tail while the bulk completes early, which is the scheduling pattern
 /// a real deployment produces.  The run is deterministic for a given
-/// (`seed`, population) pair: the loop is driven by [`EventLoop::step`],
-/// which is wall-clock-free.
+/// (`seed`, population) pair: workers are driven in stepped mode
+/// (wall-clock-free ticks).
 ///
 /// # Panics
 ///
@@ -74,61 +84,100 @@ pub fn swarm_experiment(
     seed: u64,
     max_steps: usize,
 ) -> SwarmOutcome {
+    swarm_experiment_sharded(file_len, packet_size, clients, seed, max_steps, 1)
+}
+
+/// The multi-core variant of [`swarm_experiment`]: the population is
+/// partitioned into `shards` independent sub-swarms, each on its own worker
+/// thread with its own [`SimMulticast`] channel and its own *full-rate*
+/// server replica (the SO_REUSEPORT shape: N fountains each feeding 1/N of
+/// the receivers).  Every sub-population therefore experiences the same
+/// carousel rate as the single-shard experiment and completes in the same
+/// number of steps — what changes with the shard count is wall-clock, which
+/// is exactly what the `driver_throughput` shard sweep measures.
+///
+/// Per-shard channels keep each worker's loss draws on its own seeded RNG
+/// (`seed + shard`), so the run stays deterministic at any shard count.
+///
+/// # Panics
+///
+/// Panics if the file cannot be encoded, or (in debug builds) if any
+/// completed download fails byte-for-byte verification.
+pub fn swarm_experiment_sharded(
+    file_len: usize,
+    packet_size: usize,
+    clients: usize,
+    seed: u64,
+    max_steps: usize,
+    shards: usize,
+) -> SwarmOutcome {
+    let shards = shards.clamp(1, clients.max(1));
     let data: Vec<u8> = (0..file_len)
         .map(|i| ((i * 131 + seed as usize) % 251) as u8)
         .collect();
-    let server = ServerSession::new(
-        &data,
-        SessionConfig {
-            packet_size,
-            code_seed: seed,
-            ..SessionConfig::default()
-        },
-    )
-    .expect("swarm server session encodes");
-    let info = server.control_info().clone();
-    let n = info.n;
-
-    let net = SimMulticast::new(seed);
-    let mut el: EventLoop<df_proto::SimEndpoint> = EventLoop::new();
-    // A quarter round per step: several steps per carousel cycle, so the
-    // loop's scheduling (tick, drain, repeat) is actually exercised rather
-    // than every client completing inside a single monster tick.
-    el.add_server_session(
-        server,
-        net.endpoint(0.0),
-        Pacing::new(Duration::from_millis(1), n.div_ceil(4).max(1)),
-    );
-    let mut tokens = Vec::with_capacity(clients);
+    let mut driver = DriverConfig::new()
+        .shards(shards)
+        .stepped(true)
+        .build::<SimEndpoint>();
+    let mut nets = Vec::with_capacity(shards);
+    let mut infos = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let net = SimMulticast::new(seed.wrapping_add(shard as u64));
+        let server = ServerSession::new(
+            &data,
+            SessionConfig {
+                packet_size,
+                code_seed: seed,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("swarm server session encodes");
+        let info = server.control_info().clone();
+        // A quarter round per step: several steps per carousel cycle, so the
+        // driver's scheduling (tick, drain, repeat) is actually exercised
+        // rather than every client completing inside a single monster tick.
+        let pacing = Pacing::new(Duration::from_millis(1), info.n.div_ceil(4).max(1));
+        driver
+            .add_server_session_on(shard, server, net.endpoint(0.0), pacing)
+            .expect("shard workers are alive at setup");
+        nets.push(net);
+        infos.push(info);
+    }
     for i in 0..clients {
+        let shard = i % shards;
         let loss = if i % 4 == 3 { 0.2 } else { 0.0 };
-        let session = ClientSession::new(info.clone()).expect("server-produced control info");
-        tokens.push(
-            el.add_client(session, net.endpoint(loss))
-                .expect("sim joins cannot fail"),
-        );
+        let session =
+            ClientSession::new(infos[shard].clone()).expect("server-produced control info");
+        driver
+            .add_client_on(shard, session, nets[shard].endpoint(loss))
+            .expect("sim adds cannot fail");
     }
 
     let t0 = Instant::now();
-    let mut steps = 0;
-    while steps < max_steps && !el.all_clients_complete() {
-        el.step();
-        steps += 1;
-    }
+    let steps = driver
+        .step_until_complete(max_steps)
+        .expect("shard workers stay alive");
     let elapsed = t0.elapsed();
 
-    let completed = el.completed_clients();
-    for token in tokens {
-        let client = el.client(token).expect("tokens stay valid");
-        if client.is_complete() {
-            debug_assert_eq!(client.file().unwrap(), &data[..]);
+    let completed = driver.completed_clients();
+    let stats = driver.stats();
+    let report = driver.shutdown().expect("clean driver shutdown");
+    if cfg!(debug_assertions) {
+        for event in &report.events {
+            if let DriverEvent::Completed { session, .. } = event {
+                assert_eq!(
+                    session.file().expect("completed session has its file"),
+                    &data[..],
+                    "sharded download corrupted"
+                );
+            }
         }
     }
-    let stats = el.stats();
     SwarmOutcome {
         clients,
         completed,
         steps,
+        shards,
         datagrams_sent: stats.datagrams_sent,
         datagrams_received: stats.datagrams_received,
         file_len,
@@ -166,6 +215,20 @@ mod tests {
     fn swarm_is_deterministic_per_seed() {
         let a = swarm_experiment(8_000, 500, 60, 11, 400);
         let b = swarm_experiment(8_000, 500, 60, 11, 400);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.datagrams_sent, b.datagrams_sent);
+        assert_eq!(a.datagrams_received, b.datagrams_received);
+    }
+
+    #[test]
+    fn sharded_swarm_completes_and_is_deterministic() {
+        // Per-shard channels give each worker its own seeded RNG, so even a
+        // four-thread run is reproducible draw-for-draw.
+        let a = swarm_experiment_sharded(8_000, 500, 64, 11, 800, 4);
+        let b = swarm_experiment_sharded(8_000, 500, 64, 11, 800, 4);
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.completed, 64, "sharded population stalled: {a:?}");
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.datagrams_sent, b.datagrams_sent);

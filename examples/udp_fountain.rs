@@ -1,17 +1,22 @@
-//! The paper's deployed system over real UDP sockets, on **one thread**: a
-//! single [`EventLoop`] owns the [`FountainServer`] (two files caroused to
-//! disjoint multicast group sets, binary control channel included) *and*
-//! both downloading clients — five session state machines and every socket
-//! in one `poll(2)` set, no helper threads.
+//! The paper's deployed system over real UDP sockets, behind the sharded
+//! [`Driver`] facade: a two-shard driver owns the [`FountainServer`] (two
+//! files caroused to disjoint multicast group sets, binary control channel
+//! included) *and* both downloading clients — five session state machines
+//! spread across two `df-shard-*` worker threads, each running its own
+//! readiness-driven event loop (`epoll(7)` where available, `poll(2)`
+//! otherwise; force one with `DF_POLL_BACKEND=poll|epoll`).
 //!
 //! Run with: `cargo run --release --example udp_fountain`
 //!
 //! The clients discover their sessions over the real unicast UDP control
-//! channel like any non-Rust client would; the request/response exchange is
-//! pumped through the same event loop that paces the carousel, which is the
-//! deployment shape of Section 7.1 — a stateless server feeding arbitrarily
-//! many heterogeneous receivers, its I/O multiplexed by readiness rather
-//! than by thread-per-receiver.
+//! channel like any non-Rust client would; because the workers pace
+//! themselves (paced mode), the server answers control traffic continuously
+//! on its own shard — the deployment shape of Section 7.1, a stateless
+//! server feeding arbitrarily many heterogeneous receivers, its I/O
+//! multiplexed by readiness rather than by thread-per-receiver.  Downloads
+//! finish as [`DriverEvent::Completed`] values drained from the driver's
+//! event channel, each carrying the finished [`ClientSession`] for
+//! byte-for-byte verification.
 //!
 //! Addressing: real IPv4 multicast (`239.255.71.90`, ports 47001+) when the
 //! host's network namespace can loop multicast back, otherwise loopback
@@ -19,8 +24,8 @@
 //! sessions are identical — only the group→address mapping changes.
 
 use digital_fountain::proto::{
-    ClientSession, ControlRequest, ControlResponse, EventLoop, FountainServer, GroupAddressing,
-    Pacing, SessionConfig, Transport, UdpMulticastTransport,
+    ClientSession, ControlRequest, ControlResponse, DriverConfig, DriverEvent, GroupAddressing,
+    Pacing, Placement, SessionConfig, Transport, UdpMulticastTransport,
 };
 use std::net::{Ipv4Addr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -54,15 +59,14 @@ fn patterned_file(len: usize, salt: usize) -> Vec<u8> {
     (0..len).map(|i| ((i * 131 + salt) % 251) as u8).collect()
 }
 
-/// Fetch one session's parameters over the wire-level control channel,
-/// pumping `el` between retries so the (in-loop) server can answer — the
-/// single-threaded version of "ask a running server".
-fn discover(
-    el: &mut EventLoop<UdpMulticastTransport>,
-    session_id: u32,
-) -> digital_fountain::proto::ControlInfo {
+/// Fetch one session's parameters over the wire-level control channel.  The
+/// server's shard paces itself on its own thread, so discovery is plain
+/// request/retry — no loop pumping, exactly what a non-Rust client would do.
+fn discover(session_id: u32) -> digital_fountain::proto::ControlInfo {
     let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind control client");
-    socket.set_nonblocking(true).expect("nonblocking control");
+    socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .expect("control timeout");
     let mut buf = [0u8; 2048];
     for _ in 0..100 {
         socket
@@ -71,16 +75,11 @@ fn discover(
                 (Ipv4Addr::LOCALHOST, CONTROL_PORT),
             )
             .expect("send control request");
-        // Let the loop notice the request (control socket readiness) and
-        // answer it, then look for the reply.
-        for _ in 0..10 {
-            el.poll_io(Duration::from_millis(5)).expect("poll");
-            if let Ok((len, _)) = socket.recv_from(&mut buf) {
-                if let Some(ControlResponse::Session { info }) =
-                    ControlResponse::from_bytes(&buf[..len])
-                {
-                    return info;
-                }
+        if let Ok((len, _)) = socket.recv_from(&mut buf) {
+            if let Some(ControlResponse::Session { info }) =
+                ControlResponse::from_bytes(&buf[..len])
+            {
+                return info;
             }
         }
     }
@@ -92,7 +91,7 @@ fn main() {
     let file_a = patterned_file(400_000, 1);
     let file_b = patterned_file(150_000, 2);
 
-    let mut server = FountainServer::new();
+    let mut server = digital_fountain::proto::FountainServer::new();
     let id_a = server
         .add_session(
             &file_a,
@@ -128,22 +127,27 @@ fn main() {
     let addressing = choose_addressing();
     let control = UdpSocket::bind((Ipv4Addr::LOCALHOST, CONTROL_PORT)).expect("bind control port");
 
-    // The whole deployment in one readiness-driven loop: the server slot
-    // paces the interleaved carousel and answers control traffic; client
-    // slots drain their own sockets as the kernel reports them readable.
-    let mut el: EventLoop<UdpMulticastTransport> = EventLoop::new();
-    el.add_fountain_server(
-        server,
-        UdpMulticastTransport::new(addressing).expect("server transport"),
-        Some(control),
-        Pacing::new(Duration::from_millis(1), 64),
-    )
-    .expect("register server slot");
+    // The whole deployment behind one facade: two paced worker shards, the
+    // server slot placed where load is lowest, clients likewise — the same
+    // five state machines as ever, now spread across cores.
+    let mut driver = DriverConfig::new()
+        .shards(2)
+        .placement(Placement::LeastLoaded)
+        .pacing(Pacing::new(Duration::from_millis(1), 64))
+        .build::<UdpMulticastTransport>();
+    let server_handle = driver
+        .add_fountain_server(
+            server,
+            UdpMulticastTransport::new(addressing).expect("server transport"),
+            Some(control),
+        )
+        .expect("register server slot");
+    println!("server slot on shard {}", server_handle.shard());
 
     let t0 = Instant::now();
-    let mut tokens = Vec::new();
-    for (name, id, expected) in [("client-A", id_a, &file_a), ("client-B", id_b, &file_b)] {
-        let info = discover(&mut el, id);
+    let mut expected = Vec::new();
+    for (name, id, file) in [("client-A", id_a, &file_a), ("client-B", id_b, &file_b)] {
+        let info = discover(id);
         println!(
             "{name}: session {id}: {} bytes, k = {}, {} layer(s) on groups {:?}",
             info.file_len,
@@ -153,46 +157,49 @@ fn main() {
         );
         let client = ClientSession::new(info).expect("valid control info");
         let transport = UdpMulticastTransport::new(addressing).expect("client transport");
-        let token = el
-            .add_client_with(
-                client,
-                transport,
-                Some(Box::new(move |_token, session| {
-                    let s = session.stats();
-                    println!(
-                        "{name}: done in {:.2?} — {} packets received, {} distinct, \
-                         {} decode attempt(s), efficiency η = {:.3} (η_c {:.3} · η_d {:.3})",
-                        t0.elapsed(),
-                        s.received(),
-                        s.distinct(),
-                        s.decode_attempts(),
-                        s.reception_efficiency(),
-                        s.coding_efficiency(),
-                        s.distinctness_efficiency(),
-                    );
-                })),
-            )
-            .expect("join data groups");
-        tokens.push((name, token, expected));
+        let handle = driver
+            .add_client(client, transport)
+            .expect("register client");
+        println!("{name}: shard {}", handle.shard());
+        expected.push((name, handle, file));
     }
 
-    let all_done = el
-        .run(Duration::from_secs(120))
-        .expect("event loop runs to completion");
-    assert!(all_done, "downloads timed out: {:?}", el.stats());
+    let all_done = driver.wait_complete(Duration::from_secs(120));
+    assert!(all_done, "downloads timed out");
 
-    for (name, token, expected) in tokens {
-        let (client, _transport) = el.take_client(token).expect("token valid");
-        assert_eq!(
-            client.file().unwrap(),
-            &expected[..],
-            "{name}: corrupt file"
-        );
+    let report = driver.shutdown().expect("clean driver shutdown");
+    for event in &report.events {
+        if let DriverEvent::Completed {
+            handle,
+            stats,
+            session,
+        } = event
+        {
+            let (name, _, file) = expected
+                .iter()
+                .find(|(_, h, _)| h == handle)
+                .expect("completion for a registered client");
+            assert_eq!(session.file().unwrap(), &file[..], "{name}: corrupt file");
+            println!(
+                "{name}: done in {:.2?} — {} packets received, {} distinct, \
+                 {} decode attempt(s), efficiency η = {:.3} (η_c {:.3} · η_d {:.3})",
+                t0.elapsed(),
+                stats.received(),
+                stats.distinct(),
+                stats.decode_attempts(),
+                stats.reception_efficiency(),
+                stats.coding_efficiency(),
+                stats.distinctness_efficiency(),
+            );
+        }
     }
-    let stats = el.stats();
+    let totals = report.total_stats();
     println!(
-        "both downloads verified byte-for-byte on one thread \
+        "both downloads verified byte-for-byte across {} shards \
          ({} datagrams sent, {} received, {} control answered)",
-        stats.datagrams_sent, stats.datagrams_received, stats.control_answered
+        report.shard_stats.len(),
+        totals.datagrams_sent,
+        totals.datagrams_received,
+        totals.control_answered
     );
 }

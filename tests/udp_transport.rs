@@ -5,8 +5,9 @@
 //! client pumps its transport on the test thread.
 
 use digital_fountain::proto::{
-    ClientSession, ControlRequest, ControlResponse, EventLoop, FountainServer, Pacing,
-    ServerSession, SessionConfig, Transport, UdpMulticastTransport,
+    ClientSession, ControlRequest, ControlResponse, Driver, DriverConfig, DriverEvent, EventLoop,
+    FountainServer, LoopEvent, Pacing, ServerSession, SessionConfig, SessionHandle, Transport,
+    UdpMulticastTransport,
 };
 use std::net::{Ipv4Addr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -407,6 +408,23 @@ fn event_loop_drives_64_concurrent_real_socket_clients_on_one_thread() {
         clients,
         el.stats()
     );
+    // Completions are drained events, not callbacks: every client token must
+    // surface exactly one Completed carrying its final stats.
+    let mut completed_tokens: Vec<_> = el
+        .poll_events()
+        .into_iter()
+        .filter_map(|event| match event {
+            LoopEvent::Completed { token, stats } => {
+                assert!(stats.distinct() > 0, "empty stats on a completion event");
+                Some(token)
+            }
+            _ => None,
+        })
+        .collect();
+    completed_tokens.sort_unstable();
+    let mut expected_tokens = tokens.clone();
+    expected_tokens.sort_unstable();
+    assert_eq!(completed_tokens, expected_tokens);
     for (i, token) in tokens.into_iter().enumerate() {
         let (client, _transport) = el.take_client(token).unwrap();
         assert_eq!(
@@ -415,6 +433,102 @@ fn event_loop_drives_64_concurrent_real_socket_clients_on_one_thread() {
             "client {i} reconstructed the wrong bytes"
         );
     }
+}
+
+#[test]
+fn sharded_driver_downloads_over_real_sockets_on_two_shards() {
+    // The PR-10 facade at real-socket scale: a two-shard Driver owns one
+    // FountainServer (8 sessions) and 8 UDP loopback clients, the workers
+    // pacing themselves on their own threads while the test thread only
+    // waits and drains events.  Every download must complete and verify
+    // byte-for-byte out of the shutdown report.
+    let sessions = 8;
+    let files: Vec<Vec<u8>> = (0..sessions)
+        .map(|i| patterned_file(15_000, 50 + i))
+        .collect();
+
+    type ShardedFleet = (Driver<UdpMulticastTransport>, Vec<(SessionHandle, usize)>);
+    let try_setup = |data_port: u16| -> std::io::Result<ShardedFleet> {
+        let mut server = FountainServer::new();
+        let mut ids = Vec::new();
+        for (i, file) in files.iter().enumerate() {
+            ids.push(
+                server
+                    .add_session(
+                        file,
+                        SessionConfig {
+                            code_seed: 900 + i as u64,
+                            ..SessionConfig::default()
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        let infos: Vec<_> = ids
+            .iter()
+            .map(|&id| server.session(id).unwrap().control_info().clone())
+            .collect();
+
+        let mut driver = DriverConfig::new()
+            .shards(2)
+            .placement(digital_fountain::proto::Placement::LeastLoaded)
+            .pacing(Pacing::new(Duration::from_millis(1), 64))
+            .build::<UdpMulticastTransport>();
+        driver.add_fountain_server(server, UdpMulticastTransport::loopback(data_port)?, None)?;
+        let mut handles = Vec::new();
+        for (i, info) in infos.into_iter().enumerate() {
+            let client = ClientSession::new(info).unwrap();
+            let transport = UdpMulticastTransport::loopback(data_port)?;
+            handles.push((driver.add_client(client, transport)?, i));
+        }
+        Ok((driver, handles))
+    };
+
+    let mut attempt = 0u16;
+    let (mut driver, handles) = loop {
+        match try_setup(49500 + attempt * 100) {
+            Ok(setup) => break setup,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt < 4 => attempt += 1,
+            Err(e) => panic!("could not stage the sharded loopback fleet: {e}"),
+        }
+    };
+    // LeastLoaded placement must actually have spread the registrations.
+    assert!(
+        driver.shard_counts().iter().all(|&c| c > 0),
+        "placement left a shard empty: {:?}",
+        driver.shard_counts()
+    );
+
+    let all_done = driver.wait_complete(Duration::from_secs(60));
+    assert!(
+        all_done,
+        "only {}/{} clients completed",
+        driver.completed_clients(),
+        sessions
+    );
+    let report = driver.shutdown().unwrap();
+    let mut verified = 0;
+    for event in &report.events {
+        if let DriverEvent::Completed {
+            handle, session, ..
+        } = event
+        {
+            let &(_, i) = handles
+                .iter()
+                .find(|(h, _)| h == handle)
+                .expect("completion for a registered handle");
+            assert_eq!(
+                session.file().unwrap(),
+                &files[i][..],
+                "client {i} reconstructed the wrong bytes"
+            );
+            verified += 1;
+        }
+    }
+    assert_eq!(
+        verified, sessions,
+        "every download verifies from the report"
+    );
 }
 
 #[test]
